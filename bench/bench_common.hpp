@@ -1,0 +1,32 @@
+// Shared helpers for the experiment binaries (E1-E8).
+//
+// Scale control: every bench reads RUMOR_BENCH_SCALE (default 1). Scale 1 is
+// sized to finish in seconds per bench on a laptop; larger scales grow the
+// graph sizes and trial counts for tighter estimates, e.g.
+//
+//   RUMOR_BENCH_SCALE=4 ./build/bench/bench_e2_theorem1
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rumor::bench {
+
+/// Scale multiplier from the environment (clamped to [1, 64]).
+inline unsigned scale() {
+  const char* env = std::getenv("RUMOR_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  if (v < 1) return 1;
+  if (v > 64) return 64;
+  return static_cast<unsigned>(v);
+}
+
+/// Prints the standard experiment banner.
+inline void banner(const char* experiment_id, const char* claim) {
+  std::printf("== %s ==\n%s\n(scale=%u; set RUMOR_BENCH_SCALE to grow)\n\n", experiment_id,
+              claim, scale());
+}
+
+}  // namespace rumor::bench

@@ -1,0 +1,65 @@
+// E13: source-placement sensitivity — making "for any vertex u" honest.
+//
+// Both theorems quantify over the source. This bench races sources per
+// family (two-stage screen + refine, sim/adversary.hpp) and reports the
+// worst and best source means for both models, plus the Theorem 1 ratio
+// evaluated *at the worst async source* — the adversarial configuration.
+// Expected shape: source choice moves constants (tail tips, peripheral
+// leaves) but never the asymptotics; the Theorem 1 ratio stays bounded
+// even when the adversary picks the source.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rumor.hpp"
+#include "sim/adversary.hpp"
+#include "sim/harness.hpp"
+#include "sim/table.hpp"
+
+using namespace rumor;
+
+int main() {
+  bench::banner("E13: worst-case vs best-case sources",
+                "worst/best spread is a constant factor; thm1 ratio bounded at the worst source.");
+  const unsigned s = bench::scale();
+  rng::Engine gen_eng = rng::derive_stream(13001, 0);
+
+  std::vector<graph::Graph> graphs;
+  graphs.push_back(graph::star(512));
+  graphs.push_back(graph::lollipop(64, 64));
+  graphs.push_back(graph::barbell(48, 16));
+  graphs.push_back(graph::hypercube(9));
+  graphs.push_back(graph::preferential_attachment(512, 3, gen_eng));
+  graphs.push_back(graph::bundle_chain(12, 36));
+
+  sim::WorstSourceOptions opts;
+  opts.screen_trials = 10 * s;
+  opts.final_trials = 100 * s;
+  opts.max_candidates = 48;
+
+  sim::Table table({"graph", "n", "sync worst(src)", "sync best", "async worst(src)",
+                    "async best", "thm1@worst"});
+  for (const auto& g : graphs) {
+    const auto sync = sim::find_worst_source_sync(g, core::Mode::kPushPull, opts);
+    const auto async = sim::find_worst_source_async(g, core::Mode::kPushPull, opts);
+    // Theorem 1 ratio at the adversarial (async-worst) source.
+    sim::TrialConfig config;
+    config.trials = 200 * s;
+    config.seed = 13002;
+    const auto sync_at = sim::measure_sync(g, async.source, core::Mode::kPushPull, config);
+    const auto async_at = sim::measure_async(g, async.source, core::Mode::kPushPull, config);
+    const double ln_n = std::log(static_cast<double>(g.num_nodes()));
+    table.add_row(
+        {g.name(), sim::fmt_cell("%u", g.num_nodes()),
+         sim::fmt_cell("%.1f (v=%u)", sync.mean_time, sync.source),
+         sim::fmt_cell("%.1f", sync.best_mean_time),
+         sim::fmt_cell("%.1f (v=%u)", async.mean_time, async.source),
+         sim::fmt_cell("%.1f", async.best_mean_time),
+         sim::fmt_cell("%.2f", async_at.quantile(0.99) / (sync_at.quantile(0.99) + ln_n))});
+  }
+  table.print();
+  std::printf(
+      "\nWorst sources land where theory predicts (tail tips, periphery); the Theorem 1\n"
+      "ratio at the adversarial source stays within the same constant envelope as E2.\n");
+  return 0;
+}

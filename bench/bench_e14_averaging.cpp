@@ -1,0 +1,70 @@
+// E14 (substrate study): gossip averaging [4] vs rumor spreading vs the
+// spectral gap.
+//
+// Boyd et al. [4] — the origin of the paper's asynchronous clock model —
+// show the epsilon-averaging time is governed by the same spectral
+// quantities as rumor spreading. This bench lines the three up per
+// topology: spectral gap of the lazy walk, push-pull spreading times (both
+// clockings), and epsilon-averaging times (both clockings). Expected
+// shape: all four time columns order topologies identically (expanders
+// fastest, cycle slowest), and gap * averaging-time is roughly flat.
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rumor.hpp"
+#include "sim/harness.hpp"
+#include "sim/table.hpp"
+
+using namespace rumor;
+
+int main() {
+  bench::banner("E14: averaging [4] vs spreading vs spectral gap",
+                "columns must order topologies identically; gap*avg roughly flat.");
+  const unsigned s = bench::scale();
+  const int runs = static_cast<int>(20 * s);
+  rng::Engine gen_eng = rng::derive_stream(14001, 0);
+
+  std::vector<graph::Graph> graphs;
+  graphs.push_back(graph::complete(256));
+  graphs.push_back(graph::random_regular(256, 6, gen_eng));
+  graphs.push_back(graph::hypercube(8));
+  graphs.push_back(graph::torus(16));
+  graphs.push_back(graph::cycle(256));
+
+  std::vector<double> initial(256);
+  std::iota(initial.begin(), initial.end(), 0.0);
+
+  sim::Table table({"graph", "gap", "spread sync", "spread async", "avg sync", "avg async",
+                    "gap*avg_async"});
+  for (const auto& g : graphs) {
+    const double gap = graph::spectral_gap(g);
+    sim::TrialConfig config;
+    config.trials = static_cast<std::uint64_t>(runs) * 5;
+    config.seed = 14002;
+    const auto spread_sync = sim::measure_sync(g, 0, core::Mode::kPushPull, config);
+    const auto spread_async = sim::measure_async(g, 0, core::Mode::kPushPull, config);
+
+    double avg_sync = 0.0;
+    double avg_async = 0.0;
+    for (int i = 0; i < runs; ++i) {
+      auto e1 = rng::derive_stream(14003, static_cast<std::uint64_t>(i));
+      auto e2 = rng::derive_stream(14004, static_cast<std::uint64_t>(i));
+      const auto rs = core::run_averaging_sync(g, initial, e1, {.epsilon = 1e-3});
+      const auto ra = core::run_averaging_async(g, initial, e2, {.epsilon = 1e-3});
+      avg_sync += rs.time;
+      avg_async += ra.time;
+    }
+    avg_sync /= runs;
+    avg_async /= runs;
+    table.add_row({g.name(), sim::fmt_cell("%.5f", gap), sim::fmt_cell("%.1f", spread_sync.mean()),
+                   sim::fmt_cell("%.1f", spread_async.mean()), sim::fmt_cell("%.1f", avg_sync),
+                   sim::fmt_cell("%.1f", avg_async), sim::fmt_cell("%.1f", gap * avg_async)});
+  }
+  table.print();
+  std::printf(
+      "\nThe same topology ordering governs every column — the [4] connection between\n"
+      "mixing, averaging and spreading that motivated the asynchronous model.\n");
+  return 0;
+}

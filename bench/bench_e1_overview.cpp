@@ -1,0 +1,55 @@
+// E1 (Table 1): overview of synchronous vs asynchronous push-pull spreading
+// times across the graph families the paper discusses.
+//
+// Paper-expected shape: on expanders and classical topologies (complete,
+// hypercube, random regular, ER) the two times agree within constant
+// factors [2, 14, 21, 23]; on the star, sync is constant while async is
+// Theta(log n); on power-law/PA graphs async tends to be faster.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rumor.hpp"
+#include "sim/harness.hpp"
+#include "sim/table.hpp"
+
+using namespace rumor;
+
+int main() {
+  bench::banner("E1: sync vs async push-pull overview",
+                "Columns: mean and p95 spreading time over trials; ratio = async/sync means.");
+  const unsigned s = bench::scale();
+  const std::uint64_t trials = 100 * s;
+  rng::Engine gen_eng = rng::derive_stream(1001, 0);
+
+  std::vector<graph::Graph> graphs;
+  graphs.push_back(graph::complete(256));
+  graphs.push_back(graph::star(1024));
+  graphs.push_back(graph::path(256));
+  graphs.push_back(graph::cycle(512));
+  graphs.push_back(graph::hypercube(10));
+  graphs.push_back(graph::torus(32));
+  graphs.push_back(graph::complete_binary_tree(1023));
+  graphs.push_back(graph::erdos_renyi(1024, 3.0 * std::log(1024.0) / 1024.0, gen_eng));
+  graphs.push_back(graph::random_regular(1024, 6, gen_eng));
+  graphs.push_back(graph::largest_component(
+      graph::chung_lu(1024, {.beta = 2.5, .average_degree = 8.0}, gen_eng)));
+  graphs.push_back(graph::preferential_attachment(1024, 3, gen_eng));
+
+  sim::Table table({"graph", "n", "sync mean", "sync p95", "async mean", "async p95",
+                    "async/sync"});
+  for (const auto& g : graphs) {
+    sim::TrialConfig config;
+    config.trials = trials;
+    config.seed = 42;
+    const auto sync = sim::measure_sync(g, 0, core::Mode::kPushPull, config);
+    const auto async = sim::measure_async(g, 0, core::Mode::kPushPull, config);
+    table.add_row({g.name(), sim::fmt_cell("%u", g.num_nodes()),
+                   sim::fmt_cell("%.2f", sync.mean()), sim::fmt_cell("%.2f", sync.quantile(0.95)),
+                   sim::fmt_cell("%.2f", async.mean()),
+                   sim::fmt_cell("%.2f", async.quantile(0.95)),
+                   sim::fmt_cell("%.2f", async.mean() / sync.mean())});
+  }
+  table.print();
+  return 0;
+}

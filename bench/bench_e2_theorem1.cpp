@@ -1,0 +1,72 @@
+// E2 (Fig. 1): Theorem 1 — T_{1/n}(pp-a) = O(T_{1/n}(pp) + log n).
+//
+// For each family we sweep n and report the ratio
+//     hp(async) / (hp(sync) + ln n)
+// at the (1 - 1/trials)-quantile (the trial-capped proxy for T_{1/n}; see
+// EXPERIMENTS.md). Theorem 1 says this ratio is bounded by a universal
+// constant; the star — asymptotically the worst case for the additive log
+// term — should show the largest but still flat values.
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rumor.hpp"
+#include "sim/harness.hpp"
+#include "sim/table.hpp"
+
+using namespace rumor;
+
+int main() {
+  bench::banner("E2: Theorem 1 ratio  hp(pp-a) / (hp(pp) + ln n)",
+                "Bounded-by-constant across families and n is the theorem's claim.");
+  const unsigned s = bench::scale();
+  const std::uint64_t trials = 300 * s;
+
+  struct Family {
+    const char* name;
+    std::function<graph::Graph(unsigned)> make;  // takes the size exponent
+  };
+  rng::Engine gen_eng = rng::derive_stream(2001, 0);
+  const std::vector<Family> families{
+      {"star", [](unsigned e) { return graph::star(1u << e); }},
+      {"complete", [](unsigned e) { return graph::complete(1u << e); }},
+      {"hypercube", [](unsigned e) { return graph::hypercube(e); }},
+      {"cycle", [](unsigned e) { return graph::cycle(1u << e); }},
+      {"torus", [](unsigned e) { return graph::torus(1u << (e / 2)); }},
+      {"binary_tree", [](unsigned e) { return graph::complete_binary_tree((1u << e) - 1); }},
+      {"random_regular(d=6)",
+       [&gen_eng](unsigned e) { return graph::random_regular(1u << e, 6, gen_eng); }},
+      {"erdos_renyi",
+       [&gen_eng](unsigned e) {
+         const graph::NodeId n = 1u << e;
+         return graph::erdos_renyi(n, 3.0 * std::log(n) / n, gen_eng);
+       }},
+      {"pref_attachment",
+       [&gen_eng](unsigned e) { return graph::preferential_attachment(1u << e, 3, gen_eng); }},
+  };
+
+  sim::Table table({"family", "n", "hp(sync)", "hp(async)", "ratio"});
+  for (const auto& family : families) {
+    for (unsigned e = 8; e <= 10 + (s > 1 ? 2 : 0); e += 2) {
+      const auto g = family.make(e);
+      sim::TrialConfig config;
+      config.trials = trials;
+      config.seed = 2002;
+      // Source 1 (a leaf on the star — the paper's worst case); node 1
+      // exists in every family at these sizes.
+      const auto sync = sim::measure_sync(g, 1, core::Mode::kPushPull, config);
+      const auto async = sim::measure_async(g, 1, core::Mode::kPushPull, config);
+      const double q = 1.0 - 1.0 / static_cast<double>(trials);
+      const double hp_sync = sync.quantile(q);
+      const double hp_async = async.quantile(q);
+      const double ratio = hp_async / (hp_sync + std::log(static_cast<double>(g.num_nodes())));
+      table.add_row({family.name, sim::fmt_cell("%u", g.num_nodes()),
+                     sim::fmt_cell("%.2f", hp_sync), sim::fmt_cell("%.2f", hp_async),
+                     sim::fmt_cell("%.3f", ratio)});
+    }
+  }
+  table.print();
+  std::printf("\nTheorem 1 holds if the ratio column is bounded (no growth with n).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E3 (Fig. 2): the star-graph separation (Section 1 of the paper).
+//
+// Sync push-pull from a leaf informs everyone in <= 2 rounds; the
+// asynchronous protocol needs Theta(log n) time. We sweep n over powers of
+// two, report both, and fit async ~ a ln n + b. The paper's example also
+// motivates Theorem 1's additive log term being necessary.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rumor.hpp"
+#include "sim/harness.hpp"
+#include "sim/table.hpp"
+#include "stats/regression.hpp"
+
+using namespace rumor;
+
+int main() {
+  bench::banner("E3: star graph — sync constant vs async Theta(log n)",
+                "Sync hp-time must stay <= 2; async mean must grow like a*ln(n).");
+  const unsigned s = bench::scale();
+  const std::uint64_t trials = 400 * s;
+
+  sim::Table table({"n", "sync mean", "sync max", "async mean", "async p99", "async/ln(n)"});
+  std::vector<double> ns;
+  std::vector<double> async_means;
+  for (unsigned e = 6; e <= 14 + (s > 1 ? 2 : 0); e += 2) {
+    const graph::NodeId n = 1u << e;
+    const auto g = graph::star(n);
+    sim::TrialConfig config;
+    config.trials = trials;
+    config.seed = 3003;
+    const auto sync = sim::measure_sync(g, /*source=*/1, core::Mode::kPushPull, config);
+    const auto async = sim::measure_async(g, 1, core::Mode::kPushPull, config);
+    ns.push_back(static_cast<double>(n));
+    async_means.push_back(async.mean());
+    table.add_row({sim::fmt_cell("%u", n), sim::fmt_cell("%.2f", sync.mean()),
+                   sim::fmt_cell("%.0f", sync.max()), sim::fmt_cell("%.2f", async.mean()),
+                   sim::fmt_cell("%.2f", async.quantile(0.99)),
+                   sim::fmt_cell("%.3f", async.mean() / std::log(static_cast<double>(n)))});
+  }
+  table.print();
+
+  const auto fit = stats::fit_logarithmic(ns, async_means);
+  std::printf("\nasync mean ~ %.3f * ln(n) + %.3f   (r^2 = %.4f)\n", fit.slope, fit.intercept,
+              fit.r_squared);
+  std::printf("Paper shape: sync <= 2 always; async logarithmic (r^2 ~ 1, slope ~ 1).\n");
+  return 0;
+}

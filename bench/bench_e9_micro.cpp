@@ -1,0 +1,114 @@
+// E9: engine micro-benchmarks (google-benchmark).
+//
+// Measures the throughput of the primitives every experiment is built on:
+// RNG variates, uniform neighbor sampling, generator construction, and full
+// protocol executions per graph family. This is the ablation harness for
+// the design choices in DESIGN.md §5 (event-driven async views, CSR layout).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/rumor.hpp"
+#include "rng/discrete.hpp"
+
+using namespace rumor;
+
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  auto eng = rng::derive_stream(1, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(eng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngExponential(benchmark::State& state) {
+  auto eng = rng::derive_stream(1, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng::exponential(eng, 1.0));
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_RngUniformBelow(benchmark::State& state) {
+  auto eng = rng::derive_stream(1, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(rng::uniform_below(eng, 12345));
+}
+BENCHMARK(BM_RngUniformBelow);
+
+void BM_RandomNeighbor(benchmark::State& state) {
+  const auto g = graph::hypercube(static_cast<std::uint32_t>(state.range(0)));
+  auto eng = rng::derive_stream(1, 3);
+  graph::NodeId v = 0;
+  for (auto _ : state) {
+    v = g.random_neighbor(v, eng);  // random walk keeps the access pattern honest
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_RandomNeighbor)->Arg(8)->Arg(14);
+
+void BM_BuildRandomRegular(benchmark::State& state) {
+  auto eng = rng::derive_stream(1, 4);
+  for (auto _ : state) {
+    auto g = graph::random_regular(static_cast<graph::NodeId>(state.range(0)), 6, eng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_BuildRandomRegular)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_SyncPushPull(benchmark::State& state) {
+  const auto g = graph::hypercube(static_cast<std::uint32_t>(state.range(0)));
+  auto eng = rng::derive_stream(1, 5);
+  for (auto _ : state) {
+    const auto r = core::run_sync(g, 0, eng);
+    benchmark::DoNotOptimize(r.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_SyncPushPull)->Arg(10)->Arg(14);
+
+// Ablation: the three equivalent asynchronous views. Global clock avoids
+// the priority queue entirely; per-edge clocks pay O(log m) per step.
+void BM_AsyncView(benchmark::State& state) {
+  const auto g = graph::hypercube(10);
+  auto eng = rng::derive_stream(1, 6);
+  core::AsyncOptions opts;
+  opts.view = static_cast<core::AsyncView>(state.range(0));
+  for (auto _ : state) {
+    const auto r = core::run_async(g, 0, eng, opts);
+    benchmark::DoNotOptimize(r.steps);
+  }
+}
+BENCHMARK(BM_AsyncView)
+    ->Arg(static_cast<int>(core::AsyncView::kGlobalClock))
+    ->Arg(static_cast<int>(core::AsyncView::kPerNodeClocks))
+    ->Arg(static_cast<int>(core::AsyncView::kPerEdgeClocks));
+
+void BM_AuxPpx(benchmark::State& state) {
+  const auto g = graph::hypercube(10);
+  auto eng = rng::derive_stream(1, 7);
+  for (auto _ : state) {
+    const auto r = core::run_aux(g, 0, eng, {.kind = core::AuxKind::kPpx});
+    benchmark::DoNotOptimize(r.rounds);
+  }
+}
+BENCHMARK(BM_AuxPpx);
+
+void BM_PullCoupling(benchmark::State& state) {
+  const auto g = graph::hypercube(8);
+  auto eng = rng::derive_stream(1, 8);
+  for (auto _ : state) {
+    const auto r = core::run_pull_coupling(g, 0, eng);
+    benchmark::DoNotOptimize(r.completed);
+  }
+}
+BENCHMARK(BM_PullCoupling);
+
+void BM_BlockCoupling(benchmark::State& state) {
+  const auto g = graph::hypercube(8);
+  auto eng = rng::derive_stream(1, 9);
+  for (auto _ : state) {
+    const auto r = core::run_block_coupling(g, 0, eng);
+    benchmark::DoNotOptimize(r.rounds);
+  }
+}
+BENCHMARK(BM_BlockCoupling);
+
+}  // namespace

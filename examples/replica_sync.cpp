@@ -1,0 +1,66 @@
+// Replicated-database scenario: choosing a gossip mode and clocking model
+// for update dissemination in a replica cluster.
+//
+// The original application of rumor spreading (Demers et al. [7]): a write
+// lands on one replica and must reach all others via randomized
+// anti-entropy exchanges. This example models a 512-replica cluster as a
+// random 6-regular overlay and answers two operational questions:
+//
+//  1. Which exchange mode (push / pull / push-pull) disseminates fastest,
+//     and what do the tail percentiles look like?
+//  2. Does replacing the synchronized gossip ticker with per-replica
+//     independent timers (the asynchronous model) cost dissemination
+//     latency? Theorem 1 says: at most an additive O(log n) — and
+//     Corollary 3 says push-only loses nothing on a regular overlay.
+#include <cstdio>
+
+#include "core/rumor.hpp"
+#include "sim/harness.hpp"
+#include "sim/table.hpp"
+
+using namespace rumor;
+
+int main() {
+  constexpr graph::NodeId kReplicas = 512;
+  constexpr std::uint32_t kFanout = 6;
+  rng::Engine gen_eng = rng::derive_stream(200, 0);
+  const auto overlay = graph::random_regular(kReplicas, kFanout, gen_eng);
+
+  std::printf("Update dissemination over a %u-replica, %u-regular overlay\n", kReplicas,
+              kFanout);
+  std::printf("(rounds ~ gossip ticks; one async time unit ~ one mean timer interval)\n\n");
+
+  sim::TrialConfig config;
+  config.trials = 500;
+  config.seed = 201;
+
+  sim::Table table({"clocking", "mode", "mean", "p50", "p99", "p99.9"});
+  for (const core::Mode mode : {core::Mode::kPush, core::Mode::kPull, core::Mode::kPushPull}) {
+    const auto sync = sim::measure_sync(overlay, 0, mode, config);
+    table.add_row({"synchronized", core::mode_name(mode), sim::fmt_cell("%.2f", sync.mean()),
+                   sim::fmt_cell("%.1f", sync.median()), sim::fmt_cell("%.1f", sync.quantile(0.99)),
+                   sim::fmt_cell("%.1f", sync.quantile(0.999))});
+  }
+  for (const core::Mode mode : {core::Mode::kPush, core::Mode::kPull, core::Mode::kPushPull}) {
+    const auto async = sim::measure_async(overlay, 0, mode, config);
+    table.add_row({"independent", core::mode_name(mode), sim::fmt_cell("%.2f", async.mean()),
+                   sim::fmt_cell("%.1f", async.median()),
+                   sim::fmt_cell("%.1f", async.quantile(0.99)),
+                   sim::fmt_cell("%.1f", async.quantile(0.999))});
+  }
+  table.print();
+
+  // The operational take-aways the theory predicts.
+  const auto sync_pp = sim::measure_sync(overlay, 0, core::Mode::kPushPull, config);
+  const auto async_pp = sim::measure_async(overlay, 0, core::Mode::kPushPull, config);
+  const auto sync_push = sim::measure_sync(overlay, 0, core::Mode::kPush, config);
+  std::printf("\nfindings:\n");
+  std::printf("  * dropping the synchronized ticker changes mean pp latency by %+.1f%%\n",
+              100.0 * (async_pp.mean() / sync_pp.mean() - 1.0));
+  std::printf("  * push-only costs %.2fx over push-pull on this regular overlay\n",
+              sync_push.mean() / sync_pp.mean());
+  std::printf(
+      "  * both are the Theta(1) factors Theorem 1 / Corollary 3 predict: no\n"
+      "    asymptotic penalty for decentralized clocks or one-way exchanges.\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "core/async.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace rumor::core {
+
+namespace {
+
+/// Seeds the source set at time 0; returns the informed count.
+NodeId seed_sources(NodeId source, const AsyncOptions& options,
+                    std::vector<double>& informed_time) {
+  informed_time[source] = 0.0;
+  NodeId count = 1;
+  for (NodeId extra : options.extra_sources) {
+    assert(extra < informed_time.size());
+    if (informed_time[extra] == kNeverTime) {
+      informed_time[extra] = 0.0;
+      ++count;
+    }
+  }
+  return count;
+}
+
+/// Shared exchange rule: node v contacts node w at time `now`.
+/// Returns true if somebody new was informed.
+bool exchange(Mode mode, NodeId v, NodeId w, double now, std::vector<double>& informed_time,
+              NodeId& informed_count) {
+  const bool v_in = informed_time[v] < now;
+  const bool w_in = informed_time[w] < now;
+  if (v_in == w_in) return false;
+  switch (mode) {
+    case Mode::kPush:
+      if (!v_in) return false;
+      break;
+    case Mode::kPull:
+      if (!w_in) return false;
+      break;
+    case Mode::kPushPull:
+      break;
+  }
+  NodeId target = v_in ? w : v;
+  informed_time[target] = now;
+  ++informed_count;
+  return true;
+}
+
+AsyncResult run_global_clock(const Graph& g, NodeId source, rng::Engine& eng,
+                             const AsyncOptions& options, std::uint64_t cap) {
+  const NodeId n = g.num_nodes();
+  AsyncResult result;
+  result.informed_time.assign(n, kNeverTime);
+  NodeId informed_count = seed_sources(source, options, result.informed_time);
+
+  double now = 0.0;
+  std::uint64_t steps = 0;
+  const double rate = static_cast<double>(n);
+  while (informed_count < n && steps < cap) {
+    now += rng::exponential(eng, rate);
+    ++steps;
+    const NodeId v = static_cast<NodeId>(rng::uniform_below(eng, n));
+    if (g.degree(v) == 0) continue;
+    const NodeId w = g.random_neighbor(v, eng);
+    if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
+    exchange(options.mode, v, w, now, result.informed_time, informed_count);
+  }
+  result.time = now;
+  result.steps = steps;
+  result.completed = (informed_count == n);
+  return result;
+}
+
+AsyncResult run_per_node_clocks(const Graph& g, NodeId source, rng::Engine& eng,
+                                const AsyncOptions& options, std::uint64_t cap) {
+  const NodeId n = g.num_nodes();
+  AsyncResult result;
+  result.informed_time.assign(n, kNeverTime);
+  NodeId informed_count = seed_sources(source, options, result.informed_time);
+
+  // Min-heap of (next tick time, node). Each node re-arms itself after
+  // firing with a fresh Exp(1) gap — memorylessness makes this exact.
+  using Tick = std::pair<double, NodeId>;
+  std::priority_queue<Tick, std::vector<Tick>, std::greater<>> clock;
+  for (NodeId v = 0; v < n; ++v) clock.emplace(rng::exponential(eng, 1.0), v);
+
+  double now = 0.0;
+  std::uint64_t steps = 0;
+  while (informed_count < n && steps < cap) {
+    const auto [t, v] = clock.top();
+    clock.pop();
+    now = t;
+    ++steps;
+    clock.emplace(now + rng::exponential(eng, 1.0), v);
+    if (g.degree(v) == 0) continue;
+    const NodeId w = g.random_neighbor(v, eng);
+    if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
+    exchange(options.mode, v, w, now, result.informed_time, informed_count);
+  }
+  result.time = now;
+  result.steps = steps;
+  result.completed = (informed_count == n);
+  return result;
+}
+
+AsyncResult run_per_edge_clocks(const Graph& g, NodeId source, rng::Engine& eng,
+                                const AsyncOptions& options, std::uint64_t cap) {
+  const NodeId n = g.num_nodes();
+  AsyncResult result;
+  result.informed_time.assign(n, kNeverTime);
+  NodeId informed_count = seed_sources(source, options, result.informed_time);
+
+  // One clock per ordered adjacent pair (v, w), rate 1/deg(v). The heap
+  // stores (time, v, w); re-armed after each fire.
+  struct EdgeTick {
+    double t;
+    NodeId v;
+    NodeId w;
+    bool operator>(const EdgeTick& o) const noexcept { return t > o.t; }
+  };
+  std::priority_queue<EdgeTick, std::vector<EdgeTick>, std::greater<>> clock;
+  for (NodeId v = 0; v < n; ++v) {
+    const double rate = 1.0 / static_cast<double>(g.degree(v));
+    for (NodeId w : g.neighbors(v)) {
+      clock.push(EdgeTick{rng::exponential(eng, rate), v, w});
+    }
+  }
+
+  double now = 0.0;
+  std::uint64_t steps = 0;
+  while (informed_count < n && steps < cap && !clock.empty()) {
+    const EdgeTick tick = clock.top();
+    clock.pop();
+    now = tick.t;
+    ++steps;
+    const double rate = 1.0 / static_cast<double>(g.degree(tick.v));
+    clock.push(EdgeTick{now + rng::exponential(eng, rate), tick.v, tick.w});
+    if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
+    exchange(options.mode, tick.v, tick.w, now, result.informed_time, informed_count);
+  }
+  result.time = now;
+  result.steps = steps;
+  result.completed = (informed_count == n);
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t default_step_cap(NodeId n) noexcept {
+  const double nn = static_cast<double>(n);
+  const double cap = 200.0 * nn * nn * std::log2(nn + 2.0) + 10000.0;
+  return cap > 1e18 ? static_cast<std::uint64_t>(1e18) : static_cast<std::uint64_t>(cap);
+}
+
+AsyncResult run_async(const Graph& g, NodeId source, rng::Engine& eng,
+                      const AsyncOptions& options) {
+  assert(source < g.num_nodes());
+  const std::uint64_t cap =
+      options.max_steps != 0 ? options.max_steps : default_step_cap(g.num_nodes());
+  switch (options.view) {
+    case AsyncView::kGlobalClock: return run_global_clock(g, source, eng, options, cap);
+    case AsyncView::kPerNodeClocks: return run_per_node_clocks(g, source, eng, options, cap);
+    case AsyncView::kPerEdgeClocks: return run_per_edge_clocks(g, source, eng, options, cap);
+  }
+  return {};
+}
+
+}  // namespace rumor::core

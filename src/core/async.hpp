@@ -1,0 +1,51 @@
+// rumor/core: the asynchronous rumor-spreading engine (pp-a, push-a, pull-a).
+//
+// Section 2 of the paper gives three equivalent descriptions of pp-a, all of
+// which are implemented here and verified equivalent by the test suite:
+//
+//   kPerNodeClocks  every node has an independent Poisson clock of rate 1;
+//                   on a tick the node contacts a uniformly random neighbor.
+//   kPerEdgeClocks  every ordered adjacent pair (v, w) has an independent
+//                   Poisson clock of rate 1/deg(v); on a tick v contacts w.
+//   kGlobalClock    a single Poisson clock of rate n; on a tick a uniformly
+//                   random node contacts a uniformly random neighbor.
+//
+// The equivalence is the superposition/thinning property of Poisson
+// processes plus the memorylessness of the exponential distribution. The
+// global-clock view is the fastest (no priority queue) and is the default.
+#pragma once
+
+#include "core/protocol.hpp"
+#include "rng/rng.hpp"
+
+namespace rumor::core {
+
+enum class AsyncView : std::uint8_t {
+  kGlobalClock,
+  kPerNodeClocks,
+  kPerEdgeClocks,
+};
+
+struct AsyncOptions {
+  Mode mode = Mode::kPushPull;
+  AsyncView view = AsyncView::kGlobalClock;
+  /// Abort once this many steps have executed; 0 derives a generous cap from
+  /// n (~200 n^2 log n steps, i.e. ~200 n log n time units).
+  std::uint64_t max_steps = 0;
+  /// Fault injection (extension): probability that a contact carries no
+  /// rumor. See SyncOptions::message_loss.
+  double message_loss = 0.0;
+  /// Additional nodes informed at time 0 (extension: multi-source).
+  std::vector<NodeId> extra_sources;
+};
+
+/// Runs one asynchronous execution from `source`; reports the time (in time
+/// units — the measure of Theorems 1 and 2) and the number of steps until
+/// all nodes were informed. Precondition: source < g.num_nodes().
+[[nodiscard]] AsyncResult run_async(const Graph& g, NodeId source, rng::Engine& eng,
+                                    const AsyncOptions& options = {});
+
+/// Default step cap used when AsyncOptions::max_steps == 0.
+[[nodiscard]] std::uint64_t default_step_cap(NodeId n) noexcept;
+
+}  // namespace rumor::core

@@ -1,0 +1,68 @@
+#include "core/async_discretized.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace rumor::core {
+
+AsyncResult run_async_discretized(const Graph& g, NodeId source, rng::Engine& eng,
+                                  const DiscretizedOptions& options) {
+  const NodeId n = g.num_nodes();
+  assert(source < n);
+  assert(options.dt > 0.0);
+
+  AsyncResult result;
+  result.informed_time.assign(n, kNeverTime);
+  result.informed_time[source] = 0.0;
+  NodeId informed_count = 1;
+
+  const double time_cap = options.max_time > 0.0
+                              ? options.max_time
+                              : 400.0 * static_cast<double>(n) *
+                                    std::log2(static_cast<double>(n) + 2.0);
+
+  double now = 0.0;
+  std::vector<NodeId> newly;
+  while (informed_count < n && now < time_cap) {
+    const double slice_end = now + options.dt;
+    const std::uint64_t contacts = rng::poisson(eng, static_cast<double>(n) * options.dt);
+    result.steps += contacts;
+    newly.clear();
+    for (std::uint64_t c = 0; c < contacts; ++c) {
+      const NodeId v = static_cast<NodeId>(rng::uniform_below(eng, n));
+      if (g.degree(v) == 0) continue;
+      const NodeId w = g.random_neighbor(v, eng);
+      // Evaluate against the slice-start state (informed_time < slice start
+      // means informed strictly before this slice; times are quantized to
+      // slice ends, so `< slice_end` does it).
+      const bool v_in = result.informed_time[v] < slice_end && result.informed_time[v] != kNeverTime;
+      const bool w_in = result.informed_time[w] < slice_end && result.informed_time[w] != kNeverTime;
+      if (v_in == w_in) continue;
+      switch (options.mode) {
+        case Mode::kPush:
+          if (!v_in) continue;
+          break;
+        case Mode::kPull:
+          if (!w_in) continue;
+          break;
+        case Mode::kPushPull:
+          break;
+      }
+      newly.push_back(v_in ? w : v);
+    }
+    for (NodeId v : newly) {
+      if (result.informed_time[v] == kNeverTime) {
+        result.informed_time[v] = slice_end;
+        ++informed_count;
+      }
+    }
+    now = slice_end;
+  }
+
+  result.time = now;
+  result.completed = (informed_count == n);
+  return result;
+}
+
+}  // namespace rumor::core

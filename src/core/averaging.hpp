@@ -1,0 +1,58 @@
+// rumor/core: randomized gossip averaging (Boyd, Ghosh, Prabhakar, Shah [4]).
+//
+// Reference [4] is where the paper's asynchronous time model originates:
+// each node carries a value, and on each contact the pair replaces both
+// values with their average; the protocol computes the global mean to any
+// accuracy. We implement both clockings over the same Graph substrate:
+//
+//   synchronous   in each round every node contacts a random neighbor and
+//                 the pair averages (contacts resolved in caller order —
+//                 a node may average several times per round);
+//   asynchronous  the global rate-n Poisson clock: one uniform caller per
+//                 step averages with a random neighbor.
+//
+// The measured quantity is the epsilon-averaging time: the first
+// round/time at which the *relative deviation* ||x - mean||_2 / ||x0 -
+// mean||_2 drops below epsilon. Its link to the spectral gap (averaging is
+// fast exactly where rumor spreading is fast) is exercised by bench E14.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "rng/rng.hpp"
+
+namespace rumor::core {
+
+struct AveragingOptions {
+  /// Stop once the relative L2 deviation from the mean falls below this.
+  double epsilon = 1e-3;
+  /// Cap on rounds (sync) or steps (async); 0 derives one from n.
+  std::uint64_t max_ticks = 0;
+};
+
+struct AveragingResult {
+  /// Rounds (sync) or time units (async) until convergence.
+  double time = 0.0;
+  /// Total pairwise averaging operations performed.
+  std::uint64_t interactions = 0;
+  bool converged = false;
+  /// Final values; their mean equals the initial mean exactly up to fp
+  /// error (pairwise averaging conserves the sum).
+  std::vector<double> values;
+};
+
+/// Synchronous gossip averaging of `initial` values on g.
+/// Precondition: initial.size() == g.num_nodes(), g connected.
+[[nodiscard]] AveragingResult run_averaging_sync(const Graph& g, std::span<const double> initial,
+                                                 rng::Engine& eng,
+                                                 const AveragingOptions& options = {});
+
+/// Asynchronous (rate-n Poisson clock) gossip averaging.
+[[nodiscard]] AveragingResult run_averaging_async(const Graph& g, std::span<const double> initial,
+                                                  rng::Engine& eng,
+                                                  const AveragingOptions& options = {});
+
+}  // namespace rumor::core

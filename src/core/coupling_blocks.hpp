@@ -1,0 +1,75 @@
+// rumor/core: the block coupling of Section 5 (lower bound, Theorem 2/11).
+//
+// The paper maps the step sequence S_1, S_2, ... of pp-a into blocks, and
+// each block to one or more rounds of pp, such that the informed set of pp-a
+// after each block is contained in the informed set of pp after the rounds
+// mapped to it (Lemma 13). Block rules, with I the pp-a informed set before
+// the block and H the steps accumulated so far in the block:
+//
+//   normal block: grows until (1) it holds sqrt(n) steps, or the next step
+//   S_j = (x_j, y_j) is (2) *left-incompatible* (x_j already appears in H as
+//   a caller or callee) or (3) *right-incompatible* (not left-incompatible,
+//   and y_j got informed during H's execution from I). A normal block maps
+//   to a single pp round executing exactly its pairs.
+//
+//   special block: follows a right-incompatible closure. pp runs fresh full
+//   rounds until one contains a pair that is right-incompatible with the
+//   previous block; those rounds map to the block, and pp-a executes a
+//   single replacement step drawn from the right-incompatible pairs of that
+//   round (distribution mu_{A|D}, Eq. 1 — see the implementation note in
+//   coupling_blocks.cpp about how we realize it).
+//
+// The accounting of Lemma 14 — rho_t = rho_full + rho_left + rho_right +
+// rho_special with E[rho_tau] = O(E[tau]/sqrt(n) + sqrt(n)) — is exposed in
+// BlockStats so bench E6 can reproduce the bound's shape.
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.hpp"
+#include "rng/rng.hpp"
+
+namespace rumor::core {
+
+/// Outcome of one coupled pp-a / pp execution.
+struct BlockStats {
+  /// tau: pp-a steps until pp-a informed every node.
+  std::uint64_t steps = 0;
+  /// pp-a spreading time: sum of tau i.i.d. Exp(n) gaps.
+  double async_time = 0.0;
+  /// rho_tau: total pp rounds mapped to those steps.
+  std::uint64_t rounds = 0;
+
+  /// Blocks that closed with exactly sqrt(n) steps (condition 1).
+  std::uint64_t full_blocks = 0;
+  /// Blocks closed by a left-incompatible next step (condition 2).
+  std::uint64_t left_blocks = 0;
+  /// Blocks closed by a right-incompatible next step (condition 3).
+  std::uint64_t right_blocks = 0;
+  /// Special blocks executed (== right_blocks unless the run ended first).
+  std::uint64_t special_blocks = 0;
+  /// pp rounds consumed by special blocks alone.
+  std::uint64_t special_rounds = 0;
+
+  /// Round at which pp had informed every node (pp usually finishes before
+  /// pp-a under this coupling); kNeverRound if it had not by the end.
+  std::uint64_t sync_rounds_to_complete = kNeverRound;
+
+  /// Lemma 13: I_k(pp-a) subseteq I_k(pp) held after every block.
+  bool subset_invariant_held = true;
+  bool completed = false;
+};
+
+struct BlockCouplingOptions {
+  /// Block capacity; 0 means floor(sqrt(n)) as in the paper.
+  std::uint64_t block_capacity = 0;
+  /// Step cap; 0 derives a generous default from n.
+  std::uint64_t max_steps = 0;
+};
+
+/// Runs the coupled processes from `source` until pp-a informs every node.
+/// Precondition: g connected, source < g.num_nodes().
+[[nodiscard]] BlockStats run_block_coupling(const Graph& g, NodeId source, rng::Engine& eng,
+                                            const BlockCouplingOptions& options = {});
+
+}  // namespace rumor::core

@@ -1,0 +1,224 @@
+#include "core/coupling_pull.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "core/sync.hpp"
+
+namespace rumor::core {
+
+namespace {
+
+/// Lazily materialized shared table X_{v,i} (push targets) plus the fully
+/// materialized Y_{v,w} (pull exponentials, indexed by v's neighbor slot).
+/// Both sync processes and the async process read the same entries, which
+/// is exactly what makes the runs coupled.
+class SharedTables {
+ public:
+  SharedTables(const Graph& g, rng::Engine& eng) : g_(g), eng_(eng) {
+    y_.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const double rate = 2.0 / static_cast<double>(g.degree(v));
+      y_[v].resize(g.degree(v));
+      for (auto& y : y_[v]) y = rng::exponential(eng_, rate);
+    }
+    x_.resize(g.num_nodes());
+  }
+
+  /// X_{v,i}: i >= 1 is the tick/round index after v got informed.
+  [[nodiscard]] NodeId push_target(NodeId v, std::uint64_t i) {
+    auto& seq = x_[v];
+    while (seq.size() < i) seq.push_back(g_.random_neighbor(v, eng_));
+    return seq[i - 1];
+  }
+
+  /// Y_{v,w} addressed by w's slot in v's adjacency list.
+  [[nodiscard]] double y(NodeId v, std::uint32_t neighbor_slot) const {
+    return y_[v][neighbor_slot];
+  }
+
+ private:
+  const Graph& g_;
+  rng::Engine& eng_;
+  std::vector<std::vector<NodeId>> x_;
+  std::vector<std::vector<double>> y_;
+};
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// State shared by the ppx and ppy round loops.
+struct SyncPullState {
+  std::vector<std::uint64_t> informed_round;
+  std::vector<double> best_val;   // min over informed nbrs w of r_w + Y_{v,w}
+  std::vector<std::uint32_t> informed_neighbors;
+  std::vector<std::uint64_t> z_round;  // ppx only: first round with k >= deg/2
+  NodeId informed_count = 1;
+};
+
+SyncPullState make_state(const Graph& g) {
+  SyncPullState st;
+  const NodeId n = g.num_nodes();
+  st.informed_round.assign(n, kNeverRound);
+  st.best_val.assign(n, kInf);
+  st.informed_neighbors.assign(n, 0);
+  st.z_round.assign(n, kNeverRound);
+  st.informed_count = 0;
+  return st;
+}
+
+/// Commits node v as informed in round r: bumps neighbor counters, seeds
+/// pull candidates r + Y_{x,v} for uninformed neighbors x, records z.
+void commit_informed(const Graph& g, SharedTables& tables, SyncPullState& st, NodeId v,
+                     std::uint64_t r) {
+  st.informed_round[v] = r;
+  ++st.informed_count;
+  for (NodeId x : g.neighbors(v)) {
+    ++st.informed_neighbors[x];
+    if (st.informed_round[x] != kNeverRound) continue;
+    const std::uint32_t slot = g.neighbor_index(x, v);
+    const double candidate = static_cast<double>(r) + tables.y(x, slot);
+    st.best_val[x] = std::min(st.best_val[x], candidate);
+    if (st.z_round[x] == kNeverRound &&
+        2ULL * st.informed_neighbors[x] >= g.degree(x)) {
+      st.z_round[x] = r;
+    }
+  }
+}
+
+/// One coupled synchronous run (ppx when `forced_pull`, ppy otherwise).
+/// Both consume the same tables, which is what Lemma 9's proof prescribes.
+std::vector<std::uint64_t> run_sync_coupled(const Graph& g, NodeId source, SharedTables& tables,
+                                            bool forced_pull, std::uint64_t cap,
+                                            bool& completed) {
+  const NodeId n = g.num_nodes();
+  SyncPullState st = make_state(g);
+  // Source informed at round 0; this also seeds its neighbors' candidates.
+  commit_informed(g, tables, st, source, 0);
+
+  std::vector<NodeId> newly;
+  for (std::uint64_t r = 1; st.informed_count < n && r <= cap; ++r) {
+    newly.clear();
+
+    // Push side: v pushes to X_{v, r - r_v}.
+    for (NodeId v = 0; v < n; ++v) {
+      if (st.informed_round[v] >= r) continue;  // uninformed or informed this round
+      const NodeId w = tables.push_target(v, r - st.informed_round[v]);
+      if (st.informed_round[w] == kNeverRound) newly.push_back(w);
+    }
+
+    // Pull side: fires per the coupling rule.
+    for (NodeId v = 0; v < n; ++v) {
+      if (st.informed_round[v] != kNeverRound) continue;
+      bool fires = false;
+      if (forced_pull && st.z_round[v] != kNeverRound) {
+        // ppx case (ii): half the neighborhood informed by end of round z —
+        // pull in round z + 1 with probability 1. (A pull scheduled by case
+        // (i) at an earlier round would already have fired.)
+        fires = (r == st.z_round[v] + 1);
+      } else if (st.best_val[v] < kInf) {
+        // Case (i): pull in round min_w { r_w + ceil(Y_{v,w}) }, which
+        // equals ceil(best_val) because ceil is monotone.
+        fires = (static_cast<std::uint64_t>(std::ceil(st.best_val[v])) == r);
+      }
+      if (fires) newly.push_back(v);
+    }
+
+    for (NodeId v : newly) {
+      if (st.informed_round[v] == kNeverRound) commit_informed(g, tables, st, v, r);
+    }
+  }
+  completed = (st.informed_count == n);
+  return std::move(st.informed_round);
+}
+
+/// The coupled asynchronous run: pushes at Poisson(1) ticks to the shared
+/// X_{v,i} targets; pulls at t_w + 2*Y_{v,w} (the first tick of the per-edge
+/// clock C_{v,w} after w got informed).
+std::vector<double> run_async_coupled(const Graph& g, NodeId source, SharedTables& tables,
+                                      rng::Engine& eng, double max_time, bool& completed) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> informed_time(n, kNeverTime);
+
+  struct Event {
+    double t;
+    NodeId node;      // push: the pusher; pull: the puller
+    std::uint64_t i;  // push: tick index (>= 1); pull: 0
+    bool operator>(const Event& o) const noexcept { return t > o.t; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  NodeId informed_count = 0;
+
+  // Marks v informed at time t and schedules its consequences.
+  auto inform = [&](NodeId v, double t) {
+    informed_time[v] = t;
+    ++informed_count;
+    // First push tick of v.
+    queue.push(Event{t + rng::exponential(eng, 1.0), v, 1});
+    // Pull candidates of uninformed neighbors x: first C_{x,v} tick after t.
+    for (NodeId x : g.neighbors(v)) {
+      if (informed_time[x] != kNeverTime) continue;
+      const std::uint32_t slot = g.neighbor_index(x, v);
+      queue.push(Event{t + 2.0 * tables.y(x, slot), x, 0});
+    }
+  };
+
+  inform(source, 0.0);
+
+  while (informed_count < n && !queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (ev.t > max_time) break;
+    if (ev.i >= 1) {
+      // Push tick i of ev.node (informed by construction).
+      const NodeId target = tables.push_target(ev.node, ev.i);
+      if (informed_time[target] == kNeverTime) inform(target, ev.t);
+      queue.push(Event{ev.t + rng::exponential(eng, 1.0), ev.node, ev.i + 1});
+    } else {
+      // Pull candidate: events pop in time order, so the first one that
+      // finds ev.node still uninformed is exactly min_w { t_w + 2 Y }.
+      if (informed_time[ev.node] == kNeverTime) inform(ev.node, ev.t);
+    }
+  }
+  completed = (informed_count == n);
+  return informed_time;
+}
+
+std::uint64_t max_informed(const std::vector<std::uint64_t>& rounds) {
+  return *std::max_element(rounds.begin(), rounds.end());
+}
+
+}  // namespace
+
+std::uint64_t CoupledRun::ppx_rounds() const { return max_informed(round_ppx); }
+std::uint64_t CoupledRun::ppy_rounds() const { return max_informed(round_ppy); }
+
+double CoupledRun::ppa_time() const {
+  return *std::max_element(time_ppa.begin(), time_ppa.end());
+}
+
+CoupledRun run_pull_coupling(const Graph& g, NodeId source, rng::Engine& eng,
+                             const PullCouplingOptions& options) {
+  assert(source < g.num_nodes());
+  const std::uint64_t cap =
+      options.max_rounds != 0 ? options.max_rounds : default_round_cap(g.num_nodes());
+
+  SharedTables tables(g, eng);
+  CoupledRun run;
+  bool ok_x = false;
+  bool ok_y = false;
+  bool ok_a = false;
+  run.round_ppx = run_sync_coupled(g, source, tables, /*forced_pull=*/true, cap, ok_x);
+  run.round_ppy = run_sync_coupled(g, source, tables, /*forced_pull=*/false, cap, ok_y);
+  // Generous time cap: Lemma 10 bounds pp-a by ~4x ppy + log; 16x + slack
+  // only guards against pathological table draws.
+  const double time_cap =
+      16.0 * static_cast<double>(cap) + 64.0 * std::log(static_cast<double>(g.num_nodes()) + 2.0);
+  run.time_ppa = run_async_coupled(g, source, tables, eng, time_cap, ok_a);
+  run.completed = ok_x && ok_y && ok_a;
+  return run;
+}
+
+}  // namespace rumor::core

@@ -1,0 +1,61 @@
+// rumor/core: the shared-randomness coupling of Lemmas 9 and 10.
+//
+// The paper's upper bound (Theorem 1/4) is proved by coupling four processes
+// through two shared tables of random variables:
+//
+//   X_{v,i} ~ Unif(Gamma(v))   the neighbor v pushes to in the i-th round
+//                              (ppx, ppy) / at its i-th clock tick (pp-a)
+//                              after v got informed;
+//   Y_{v,w} ~ Exp(2/deg(v))    drives pulls: in ppx/ppy node v pulls in
+//                              round r_w + ceil(Y_{v,w}) from the neighbor w
+//                              minimizing r_w + Y_{v,w}; in pp-a node v
+//                              pulls at time t_w + 2*Y_{v,w} (the factor 2
+//                              makes 2Y ~ Exp(1/deg(v)), the rate of the
+//                              per-edge clock C_{v,w}).
+//
+// ppx additionally forces a pull in round z+1 where z is the first round by
+// the end of which at least deg(v)/2 neighbors of v are informed (case (ii)
+// of Lemma 9's proof).
+//
+// This module executes ppx, ppy and pp-a *jointly* on one draw of the
+// tables, returning the per-node inform rounds/times (r_v, r'_v, t_v). The
+// proofs' pathwise inequalities — r'_v <= 2 r_v + O(log n) and
+// t_v <= 4 r'_v + O(log n) with high probability — become measurable
+// quantities, checked by tests and reported by bench E7.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "rng/rng.hpp"
+
+namespace rumor::core {
+
+/// Per-node outcome of one coupled execution.
+struct CoupledRun {
+  /// Rounds at which each node was informed in ppx (r_v).
+  std::vector<std::uint64_t> round_ppx;
+  /// Rounds at which each node was informed in ppy (r'_v).
+  std::vector<std::uint64_t> round_ppy;
+  /// Times at which each node was informed in pp-a (t_v).
+  std::vector<double> time_ppa;
+  /// True iff every process informed every node within its cap.
+  bool completed = false;
+
+  /// Spreading times (max over nodes); valid iff completed.
+  [[nodiscard]] std::uint64_t ppx_rounds() const;
+  [[nodiscard]] std::uint64_t ppy_rounds() const;
+  [[nodiscard]] double ppa_time() const;
+};
+
+struct PullCouplingOptions {
+  std::uint64_t max_rounds = 0;  // 0: default cap as in run_sync
+};
+
+/// Draws one instance of the shared tables and executes ppx, ppy, pp-a on it.
+/// Precondition: g connected, source < g.num_nodes().
+[[nodiscard]] CoupledRun run_pull_coupling(const Graph& g, NodeId source, rng::Engine& eng,
+                                           const PullCouplingOptions& options = {});
+
+}  // namespace rumor::core

@@ -1,0 +1,83 @@
+#include "core/sync.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rumor::core {
+
+std::uint64_t default_round_cap(NodeId n) noexcept {
+  const double nn = static_cast<double>(n);
+  const double cap = 200.0 * nn * std::log2(nn + 2.0) + 1000.0;
+  return static_cast<std::uint64_t>(cap);
+}
+
+SyncResult run_sync(const Graph& g, NodeId source, rng::Engine& eng,
+                    const SyncOptions& options) {
+  const NodeId n = g.num_nodes();
+  assert(source < n);
+
+  SyncResult result;
+  result.informed_round.assign(n, kNeverRound);
+  result.informed_round[source] = 0;
+  NodeId informed_count = 1;
+  for (NodeId extra : options.extra_sources) {
+    assert(extra < n);
+    if (result.informed_round[extra] == kNeverRound) {
+      result.informed_round[extra] = 0;
+      ++informed_count;
+    }
+  }
+  if (options.record_history) result.informed_count_history.push_back(informed_count);
+
+  const std::uint64_t cap =
+      options.max_rounds != 0 ? options.max_rounds : default_round_cap(n);
+
+  // Nodes informed strictly before the current round: informed_round < r.
+  // Newly informed nodes are stamped with the current round number, so the
+  // same array doubles as the pre-round snapshot.
+  std::vector<NodeId> newly_informed;
+  for (std::uint64_t r = 1; informed_count < n && r <= cap; ++r) {
+    newly_informed.clear();
+    auto informed_before = [&](NodeId v) { return result.informed_round[v] < r; };
+
+    for (NodeId v = 0; v < n; ++v) {
+      if (g.degree(v) == 0) continue;  // isolated node: nothing to contact
+      const NodeId w = g.random_neighbor(v, eng);
+      const bool v_in = informed_before(v);
+      const bool w_in = informed_before(w);
+      if (v_in == w_in) continue;  // both or neither informed: no exchange
+      if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
+      switch (options.mode) {
+        case Mode::kPush:
+          if (v_in && result.informed_round[w] == kNeverRound) newly_informed.push_back(w);
+          break;
+        case Mode::kPull:
+          if (w_in && result.informed_round[v] == kNeverRound) newly_informed.push_back(v);
+          break;
+        case Mode::kPushPull:
+          if (v_in) {
+            if (result.informed_round[w] == kNeverRound) newly_informed.push_back(w);
+          } else {
+            if (result.informed_round[v] == kNeverRound) newly_informed.push_back(v);
+          }
+          break;
+      }
+    }
+    // Commit after the scan so every exchange saw the pre-round snapshot; a
+    // node informed via several contacts in the same round is stamped once.
+    for (NodeId v : newly_informed) {
+      if (result.informed_round[v] == kNeverRound) {
+        result.informed_round[v] = r;
+        ++informed_count;
+      }
+    }
+    if (options.record_history) result.informed_count_history.push_back(informed_count);
+    result.rounds = r;
+  }
+
+  result.completed = (informed_count == n);
+  if (!result.completed) result.rounds = cap;
+  return result;
+}
+
+}  // namespace rumor::core

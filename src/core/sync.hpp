@@ -1,0 +1,48 @@
+// rumor/core: the synchronous rumor-spreading engine (pp, push, pull).
+//
+// Implements the round-based protocol of Section 2 exactly: in every round
+// each node v contacts a uniformly random neighbor w; with push an informed
+// caller informs its callee, with pull an uninformed caller gets informed by
+// an informed callee, and push-pull allows both. All exchanges within a
+// round are evaluated against the *pre-round* informed set ("if before the
+// round exactly one of v, w knows the rumor, then the other node gets
+// informed in round r as well").
+#pragma once
+
+#include "core/protocol.hpp"
+#include "rng/rng.hpp"
+
+namespace rumor::core {
+
+struct SyncOptions {
+  /// Communication mode for every contact.
+  Mode mode = Mode::kPushPull;
+  /// Abort after this many rounds; 0 derives a generous cap from n
+  /// (~200 n log n, far above the O(n log n) worst case for connected
+  /// graphs) so runaway loops surface as `completed == false` instead of
+  /// hanging.
+  std::uint64_t max_rounds = 0;
+  /// Record |informed| after every round into informed_count_history.
+  bool record_history = false;
+  /// Fault injection (extension): each contact independently carries no
+  /// rumor with this probability — a lossy channel in the spirit of the
+  /// protocol's original fault-tolerant applications [7, 26]. A loss
+  /// thins every exchange identically, so it rescales time by
+  /// ~1/(1 - loss) on both models without changing who-wins shapes
+  /// (bench_e11_faults measures this).
+  double message_loss = 0.0;
+  /// Additional nodes informed at round 0, alongside `source` (extension:
+  /// multi-source spreading, e.g. a write accepted by several replicas).
+  std::vector<NodeId> extra_sources;
+};
+
+/// Runs one synchronous execution from `source` and reports when every node
+/// was informed. Precondition: g connected (otherwise completed == false),
+/// source < g.num_nodes().
+[[nodiscard]] SyncResult run_sync(const Graph& g, NodeId source, rng::Engine& eng,
+                                  const SyncOptions& options = {});
+
+/// Default round cap used when SyncOptions::max_rounds == 0.
+[[nodiscard]] std::uint64_t default_round_cap(NodeId n) noexcept;
+
+}  // namespace rumor::core

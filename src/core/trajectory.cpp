@@ -1,0 +1,45 @@
+#include "core/trajectory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rumor::core {
+
+namespace {
+
+std::size_t target_count(std::size_t n, double fraction) {
+  assert(fraction > 0.0 && fraction <= 1.0);
+  const auto target = static_cast<std::size_t>(std::ceil(fraction * static_cast<double>(n)));
+  return std::max<std::size_t>(1, std::min(target, n));
+}
+
+}  // namespace
+
+std::uint64_t round_to_fraction(std::span<const std::uint64_t> informed_round, double fraction) {
+  const std::size_t target = target_count(informed_round.size(), fraction);
+  std::vector<std::uint64_t> rounds(informed_round.begin(), informed_round.end());
+  std::nth_element(rounds.begin(), rounds.begin() + static_cast<std::ptrdiff_t>(target - 1),
+                   rounds.end());
+  return rounds[target - 1];
+}
+
+double time_to_fraction(std::span<const double> informed_time, double fraction) {
+  const std::size_t target = target_count(informed_time.size(), fraction);
+  std::vector<double> times(informed_time.begin(), informed_time.end());
+  std::nth_element(times.begin(), times.begin() + static_cast<std::ptrdiff_t>(target - 1),
+                   times.end());
+  return times[target - 1];
+}
+
+std::vector<double> async_trajectory(std::span<const double> informed_time) {
+  std::vector<double> times;
+  times.reserve(informed_time.size());
+  for (double t : informed_time) {
+    if (t != kNeverTime) times.push_back(t);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+}  // namespace rumor::core

@@ -1,0 +1,174 @@
+#include "graph/expansion.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace rumor::graph {
+
+namespace {
+
+/// Volume of a vertex subset: sum of degrees.
+double volume(const Graph& g, std::uint32_t mask_bits, std::uint32_t mask) {
+  double vol = 0.0;
+  for (std::uint32_t v = 0; v < mask_bits; ++v) {
+    if (mask & (1u << v)) vol += g.degree(v);
+  }
+  return vol;
+}
+
+/// Edges crossing the cut defined by `mask`.
+double cut_size(const Graph& g, std::uint32_t mask) {
+  double cut = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!(mask & (1u << v))) continue;
+    for (NodeId w : g.neighbors(v)) {
+      if (!(mask & (1u << w))) cut += 1.0;
+    }
+  }
+  return cut;
+}
+
+/// Second eigenvector of the lazy walk by power iteration; also returns
+/// lambda_2 through `lambda_out` if non-null.
+std::vector<double> second_eigenvector(const Graph& g, std::uint32_t iterations,
+                                       double* lambda_out) {
+  const NodeId n = g.num_nodes();
+  assert(n >= 2);
+  // Stationary distribution of the walk: pi(v) ~ deg(v). Deflate against
+  // it using the D-inner product, under which W is self-adjoint.
+  double total_degree = 0.0;
+  for (NodeId v = 0; v < n; ++v) total_degree += g.degree(v);
+
+  std::vector<double> x(n);
+  // Deterministic, seed-free start vector orthogonal-ish to constants.
+  for (NodeId v = 0; v < n; ++v) x[v] = (v % 2 == 0 ? 1.0 : -1.0) + 1.0 / (1.0 + v);
+  std::vector<double> next(n);
+
+  auto deflate = [&] {
+    // Remove the component along the all-ones right eigenvector with
+    // respect to the pi-weighted inner product: x -= (<x,1>_pi) * 1.
+    double dot = 0.0;
+    for (NodeId v = 0; v < n; ++v) dot += x[v] * g.degree(v);
+    dot /= total_degree;
+    for (NodeId v = 0; v < n; ++v) x[v] -= dot;
+  };
+  auto normalize = [&] {
+    double norm = 0.0;
+    for (double xv : x) norm += xv * xv;
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (double& xv : x) xv /= norm;
+    }
+  };
+
+  deflate();
+  normalize();
+  double lambda = 0.0;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    // next = W x with W = (I + D^{-1} A) / 2.
+    for (NodeId v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (NodeId w : g.neighbors(v)) acc += x[w];
+      next[v] = 0.5 * x[v] + 0.5 * acc / static_cast<double>(g.degree(v));
+    }
+    // Rayleigh quotient before normalization.
+    double num = 0.0;
+    double den = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      num += x[v] * next[v];
+      den += x[v] * x[v];
+    }
+    lambda = den > 0.0 ? num / den : 0.0;
+    x.swap(next);
+    deflate();
+    normalize();
+  }
+  if (lambda_out != nullptr) *lambda_out = lambda;
+  return x;
+}
+
+}  // namespace
+
+double conductance_exact(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  assert(n >= 2 && n <= 24);
+  const double total_vol = 2.0 * static_cast<double>(g.num_edges());
+  double best = std::numeric_limits<double>::infinity();
+  const std::uint32_t limit = 1u << (n - 1);  // fix vertex n-1 outside S
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    const double vol = volume(g, n, mask);
+    const double other = total_vol - vol;
+    const double denom = std::min(vol, other);
+    if (denom <= 0.0) continue;
+    best = std::min(best, cut_size(g, mask) / denom);
+  }
+  return best;
+}
+
+double vertex_expansion_exact(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  assert(n >= 2 && n <= 24);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const auto size = static_cast<std::uint32_t>(std::popcount(mask));
+    if (size > n / 2) continue;
+    // |N(S) \ S|
+    std::uint32_t boundary = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) continue;
+      for (NodeId w : g.neighbors(v)) {
+        if (mask & (1u << w)) {
+          ++boundary;
+          break;
+        }
+      }
+    }
+    best = std::min(best, static_cast<double>(boundary) / size);
+  }
+  return best;
+}
+
+std::vector<NodeId> spectral_order(const Graph& g, std::uint32_t iterations) {
+  const auto fiedler = second_eigenvector(g, iterations, nullptr);
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return fiedler[a] < fiedler[b]; });
+  return order;
+}
+
+double conductance_sweep(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  assert(n >= 2);
+  const auto order = spectral_order(g);
+  const double total_vol = 2.0 * static_cast<double>(g.num_edges());
+
+  // Incremental sweep: maintain cut and volume as vertices move into S.
+  std::vector<std::uint8_t> in_s(n, 0);
+  double vol = 0.0;
+  double cut = 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const NodeId v = order[i];
+    in_s[v] = 1;
+    vol += g.degree(v);
+    for (NodeId w : g.neighbors(v)) {
+      cut += in_s[w] ? -1.0 : 1.0;
+    }
+    const double denom = std::min(vol, total_vol - vol);
+    if (denom > 0.0) best = std::min(best, cut / denom);
+  }
+  return best;
+}
+
+double spectral_gap(const Graph& g, std::uint32_t iterations) {
+  double lambda = 0.0;
+  (void)second_eigenvector(g, iterations, &lambda);
+  return 1.0 - lambda;
+}
+
+}  // namespace rumor::graph

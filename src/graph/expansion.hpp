@@ -1,0 +1,51 @@
+// rumor/graph: expansion parameters of a graph.
+//
+// The paper notes (after Theorem 1) that its upper bound makes known
+// synchronous push-pull bounds carry over to the asynchronous model — in
+// particular the conductance bound T(pp) = O(log n / phi) [6, 17] and the
+// vertex-expansion bound T(pp) = O(log^2 n / alpha) [18]. This module
+// computes/estimates the parameters so bench E10 can verify those
+// transferred bounds empirically:
+//
+//   * conductance phi(G) = min over cuts S of cut(S) / min(vol(S), vol(V-S)),
+//     estimated by a sweep over spectral-ordering prefixes (exact on small
+//     graphs via subset enumeration);
+//   * vertex expansion alpha(G) = min |boundary(S)| / |S| over |S| <= n/2;
+//   * the spectral gap of the lazy random walk, via power iteration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rumor::graph {
+
+/// Exact conductance by enumerating all 2^(n-1) cuts. Precondition:
+/// n <= 24 (it is O(2^n * n)); intended for tests.
+[[nodiscard]] double conductance_exact(const Graph& g);
+
+/// Conductance upper estimate by a spectral sweep: order vertices by the
+/// second eigenvector of the lazy random walk (computed by power
+/// iteration), scan prefix cuts, return the best. Cheeger's inequality
+/// guarantees the result is within sqrt-factors of the truth:
+///   phi(G)^2 / 2 <= gap <= 2 * phi_sweep.
+[[nodiscard]] double conductance_sweep(const Graph& g);
+
+/// Exact vertex expansion min_{0 < |S| <= n/2} |N(S) \ S| / |S| by subset
+/// enumeration. Precondition: n <= 24; intended for tests.
+[[nodiscard]] double vertex_expansion_exact(const Graph& g);
+
+/// Spectral gap 1 - lambda_2 of the lazy random-walk matrix
+/// W = (I + D^{-1}A)/2, computed by power iteration with deflation of the
+/// known top eigenvector (the stationary distribution direction).
+/// `iterations` controls convergence (error decays like (l3/l2)^k).
+[[nodiscard]] double spectral_gap(const Graph& g, std::uint32_t iterations = 2000);
+
+/// The sweep-cut vertex ordering used by conductance_sweep (exposed for
+/// inspection and testing): vertices sorted by their second-eigenvector
+/// entry, computed by power iteration.
+[[nodiscard]] std::vector<NodeId> spectral_order(const Graph& g,
+                                                 std::uint32_t iterations = 2000);
+
+}  // namespace rumor::graph

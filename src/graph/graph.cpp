@@ -1,0 +1,67 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace rumor::graph {
+
+void GraphBuilder::add_edge(NodeId a, NodeId b) {
+  assert(a < num_nodes_ && b < num_nodes_);
+  if (a == b) return;  // self-loops carry no rumor
+  edges_.push_back(Edge{a, b});
+}
+
+bool GraphBuilder::has_edge_slow(NodeId a, NodeId b) const noexcept {
+  for (const Edge& e : edges_) {
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) return true;
+  }
+  return false;
+}
+
+Graph GraphBuilder::build(std::string name) && {
+  // Expand to directed arcs, sort, dedupe, then prefix-sum into CSR.
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  arcs.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    arcs.emplace_back(e.a, e.b);
+    arcs.emplace_back(e.b, e.a);
+  }
+  edges_.clear();
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const auto& [from, to] : arcs) {
+    (void)to;
+    ++offsets[static_cast<std::size_t>(from) + 1];
+  }
+  for (std::size_t v = 0; v < num_nodes_; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<NodeId> neighbors;
+  neighbors.reserve(arcs.size());
+  for (const auto& [from, to] : arcs) {
+    (void)from;
+    neighbors.push_back(to);
+  }
+  return Graph(std::move(offsets), std::move(neighbors), std::move(name));
+}
+
+std::uint32_t Graph::neighbor_index(NodeId v, NodeId w) const noexcept {
+  const auto nbrs = neighbors(v);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), w);
+  if (it != nbrs.end() && *it == w) {
+    return static_cast<std::uint32_t>(it - nbrs.begin());
+  }
+  return degree(v);
+}
+
+bool Graph::is_regular() const noexcept {
+  const NodeId n = num_nodes();
+  if (n == 0) return true;
+  const auto d = degree(0);
+  for (NodeId v = 1; v < n; ++v) {
+    if (degree(v) != d) return false;
+  }
+  return true;
+}
+
+}  // namespace rumor::graph

@@ -1,0 +1,130 @@
+// rumor/graph: immutable compressed-sparse-row graphs.
+//
+// Every protocol engine's inner loop is "pick a uniformly random neighbor of
+// v", so the adjacency representation is a frozen CSR: one offsets array and
+// one flat neighbor array. Uniform neighbor selection is a single bounded
+// uniform plus one indexed load.
+//
+// Graphs in this library are simple (no self-loops, no parallel edges),
+// undirected, and — for rumor-spreading purposes — expected to be connected;
+// `is_connected()` in properties.hpp lets callers enforce that.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace rumor::graph {
+
+/// Node identifier; dense in [0, n).
+using NodeId = std::uint32_t;
+
+/// An undirected edge as an (unordered) pair of endpoints.
+struct Edge {
+  NodeId a = 0;
+  NodeId b = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph;
+
+/// Mutable edge-list accumulator; `build()` freezes it into a CSR Graph.
+///
+/// The builder deduplicates and rejects self-loops at build time so that all
+/// generators can add edges without tracking duplicates themselves.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t num_edges_added() const noexcept { return edges_.size(); }
+
+  /// Records an undirected edge {a, b}. Self-loops are ignored (they are
+  /// meaningless for rumor spreading); duplicates are removed at build().
+  /// Precondition: a < num_nodes() && b < num_nodes().
+  void add_edge(NodeId a, NodeId b);
+
+  /// Returns true if {a, b} was already added (linear in edges added so
+  /// far for the exact check is avoided — uses a sorted snapshot; intended
+  /// for generator-internal rejection loops on small candidate sets).
+  [[nodiscard]] bool has_edge_slow(NodeId a, NodeId b) const noexcept;
+
+  /// Freezes into an immutable Graph; the builder is left empty.
+  [[nodiscard]] Graph build(std::string name) &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// Immutable simple undirected graph in CSR form.
+class Graph {
+ public:
+  /// Number of nodes n.
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges m.
+  [[nodiscard]] std::size_t num_edges() const noexcept { return neighbors_.size() / 2; }
+
+  /// deg(v): the number of neighbors of v.
+  [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept {
+    assert(v < num_nodes());
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Gamma(v): the neighbors of v, sorted ascending.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    assert(v < num_nodes());
+    return {neighbors_.data() + offsets_[v], neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// Uniformly random neighbor of v — the protocol primitive "v contacts a
+  /// uniformly random neighbor". Precondition: degree(v) > 0.
+  template <class Eng>
+  [[nodiscard]] NodeId random_neighbor(NodeId v, Eng& eng) const noexcept {
+    const auto deg = degree(v);
+    assert(deg > 0 && "random_neighbor on an isolated node");
+    return neighbors_[offsets_[v] + rng::uniform_below(eng, deg)];
+  }
+
+  /// The i-th neighbor of v in sorted order; used by couplings that need a
+  /// stable enumeration of Gamma(v). Precondition: i < degree(v).
+  [[nodiscard]] NodeId neighbor_at(NodeId v, std::uint32_t i) const noexcept {
+    assert(i < degree(v));
+    return neighbors_[offsets_[v] + i];
+  }
+
+  /// Index of w within neighbors(v), or degree(v) if absent. O(log deg).
+  [[nodiscard]] std::uint32_t neighbor_index(NodeId v, NodeId w) const noexcept;
+
+  /// True iff {v, w} is an edge. O(log deg(v)).
+  [[nodiscard]] bool has_edge(NodeId v, NodeId w) const noexcept {
+    return neighbor_index(v, w) < degree(v);
+  }
+
+  /// True iff every node has the same degree (Corollary 3's hypothesis).
+  [[nodiscard]] bool is_regular() const noexcept;
+
+  /// Human-readable generator tag, e.g. "hypercube(d=10)".
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class GraphBuilder;
+
+  Graph(std::vector<std::size_t> offsets, std::vector<NodeId> neighbors, std::string name)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)), name_(std::move(name)) {}
+
+  std::vector<std::size_t> offsets_;  // size n + 1
+  std::vector<NodeId> neighbors_;     // size 2m, sorted within each node's slice
+  std::string name_;
+};
+
+}  // namespace rumor::graph

@@ -1,0 +1,77 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace rumor::graph {
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# rumor graph: " << g.name() << "\n";
+  out << "# nodes: " << g.num_nodes() << " edges: " << g.num_edges() << "\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId w : g.neighbors(v)) {
+      if (v < w) out << v << ' ' << w << '\n';
+    }
+  }
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_edge_list_file: cannot open " + path);
+  write_edge_list(g, out);
+}
+
+Graph read_edge_list(std::istream& in, std::string name, bool compact_ids) {
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  auto intern = [&](std::uint64_t raw, std::size_t line_no) -> NodeId {
+    if (compact_ids) {
+      return remap.emplace(raw, static_cast<NodeId>(remap.size())).first->second;
+    }
+    if (raw > 0xffffffffULL) {
+      throw std::runtime_error("read_edge_list: line " + std::to_string(line_no) +
+                               ": id too large (use compact_ids)");
+    }
+    return static_cast<NodeId>(raw);
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::uint64_t max_id = 0;
+  bool any = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and skip blanks.
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(fields >> u)) continue;  // blank after comment strip
+    if (!(fields >> v)) {
+      throw std::runtime_error("read_edge_list: line " + std::to_string(line_no) +
+                               ": expected two node ids");
+    }
+    edges.emplace_back(intern(u, line_no), intern(v, line_no));
+    max_id = std::max({max_id, u, v});
+    any = true;
+  }
+
+  const NodeId n = compact_ids ? static_cast<NodeId>(remap.size())
+                               : (any ? static_cast<NodeId>(max_id + 1) : 0);
+  GraphBuilder builder(n);
+  for (const auto& [a, b] : edges) builder.add_edge(a, b);
+  return std::move(builder).build(std::move(name));
+}
+
+Graph read_edge_list_file(const std::string& path, bool compact_ids) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_edge_list_file: cannot open " + path);
+  return read_edge_list(in, path, compact_ids);
+}
+
+}  // namespace rumor::graph

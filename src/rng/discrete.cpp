@@ -1,0 +1,50 @@
+#include "rng/discrete.hpp"
+
+#include <cassert>
+
+namespace rumor::rng {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  total_ = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0 && "AliasTable weights must be non-negative");
+    total_ += w;
+  }
+  if (weights.empty() || total_ <= 0.0) return;
+
+  const std::size_t k = weights.size();
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+
+  // Scale weights so the average is 1, then split columns into those below
+  // (small) and at-or-above (large) the average. Vose's stable pairing.
+  std::vector<double> scaled(k);
+  const double scale = static_cast<double>(k) / total_;
+  for (std::size_t i = 0; i < k; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;  // ordered for fp stability
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Residual columns are hit by fp round-off; they accept with prob 1.
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;
+}
+
+}  // namespace rumor::rng

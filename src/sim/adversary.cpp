@@ -1,0 +1,88 @@
+#include "sim/adversary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+namespace rumor::sim {
+
+namespace {
+
+/// Degree-stratified candidate list: sort nodes by degree and take every
+/// k-th, guaranteeing the extremes are included. Spreading-time extremes
+/// correlate strongly with degree (peripheral low-degree nodes are slow
+/// sources), so stratification loses little versus screening everything.
+std::vector<NodeId> candidate_sources(const Graph& g, std::uint32_t max_candidates) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  if (max_candidates == 0 || n <= max_candidates) return order;
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return g.degree(a) < g.degree(b); });
+  std::vector<NodeId> picked;
+  picked.reserve(max_candidates);
+  const double stride = static_cast<double>(n - 1) / (max_candidates - 1);
+  for (std::uint32_t i = 0; i < max_candidates; ++i) {
+    picked.push_back(order[static_cast<std::size_t>(i * stride)]);
+  }
+  return picked;
+}
+
+template <class MeasureFn>
+WorstSourceResult race(const Graph& g, const WorstSourceOptions& options, MeasureFn measure) {
+  assert(g.num_nodes() >= 2);
+  const auto candidates = candidate_sources(g, options.max_candidates);
+
+  // Stage 1: screen every candidate cheaply.
+  std::vector<std::pair<double, NodeId>> screened;
+  screened.reserve(candidates.size());
+  for (NodeId u : candidates) {
+    screened.emplace_back(measure(u, options.screen_trials, options.seed), u);
+  }
+  std::sort(screened.begin(), screened.end(), std::greater<>());
+
+  // Stage 2: refine the leaders with a full measurement.
+  const std::uint32_t finalists =
+      std::min<std::uint32_t>(options.finalists, static_cast<std::uint32_t>(screened.size()));
+  WorstSourceResult result;
+  bool first = true;
+  for (std::uint32_t i = 0; i < finalists; ++i) {
+    const NodeId u = screened[i].second;
+    const double mean = measure(u, options.final_trials, options.seed + 1);
+    if (first || mean > result.mean_time) {
+      result.source = u;
+      result.mean_time = mean;
+    }
+    if (first || mean < result.best_mean_time) {
+      result.best_source = u;
+      result.best_mean_time = mean;
+    }
+    first = false;
+  }
+  return result;
+}
+
+}  // namespace
+
+WorstSourceResult find_worst_source_sync(const Graph& g, core::Mode mode,
+                                         const WorstSourceOptions& options) {
+  return race(g, options, [&](NodeId u, std::uint64_t trials, std::uint64_t seed) {
+    TrialConfig config;
+    config.trials = trials;
+    config.seed = seed + 0x9e3779b9ULL * u;  // per-source stream family
+    return measure_sync(g, u, mode, config).mean();
+  });
+}
+
+WorstSourceResult find_worst_source_async(const Graph& g, core::Mode mode,
+                                          const WorstSourceOptions& options) {
+  return race(g, options, [&](NodeId u, std::uint64_t trials, std::uint64_t seed) {
+    TrialConfig config;
+    config.trials = trials;
+    config.seed = seed + 0x9e3779b9ULL * u;
+    return measure_async(g, u, mode, config).mean();
+  });
+}
+
+}  // namespace rumor::sim

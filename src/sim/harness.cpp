@@ -1,0 +1,118 @@
+#include "sim/harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace rumor::sim {
+
+std::vector<double> run_trials(const TrialConfig& config, const TrialFn& fn) {
+  assert(config.trials > 0);
+  std::vector<double> results(config.trials, 0.0);
+
+  unsigned workers = config.threads != 0 ? config.threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = static_cast<unsigned>(
+      std::min<std::uint64_t>(workers, config.trials));
+
+  if (workers == 1) {
+    for (std::uint64_t t = 0; t < config.trials; ++t) {
+      rng::Engine eng = rng::derive_stream(config.seed, t);
+      results[t] = fn(t, eng);
+    }
+    return results;
+  }
+
+  std::atomic<std::uint64_t> next{0};
+  // First exception thrown by any trial, rethrown on the caller's thread
+  // after the pool drains (letting it escape a worker would terminate).
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::uint64_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= config.trials) return;
+      try {
+        rng::Engine eng = rng::derive_stream(config.seed, t);
+        results[t] = fn(t, eng);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(config.trials, std::memory_order_relaxed);  // drain fast
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+SpreadingTimeSample::SpreadingTimeSample(std::vector<double> samples)
+    : samples_(std::move(samples)) {
+  assert(!samples_.empty());
+  std::sort(samples_.begin(), samples_.end());
+  for (double x : samples_) moments_.add(x);
+}
+
+double SpreadingTimeSample::median() const { return quantile(0.5); }
+
+double SpreadingTimeSample::quantile(double p) const {
+  return stats::quantile_sorted(samples_, p);
+}
+
+stats::BootstrapInterval SpreadingTimeSample::mean_ci(double confidence, std::size_t resamples,
+                                                      std::uint64_t seed) const {
+  return stats::bootstrap_mean_ci(samples_, confidence, resamples, seed);
+}
+
+SpreadingTimeSample measure_sync(const Graph& g, NodeId source, core::Mode mode,
+                                 const TrialConfig& config) {
+  core::SyncOptions options;
+  options.mode = mode;
+  auto samples = run_trials(config, [&](std::uint64_t, rng::Engine& eng) {
+    const auto result = core::run_sync(g, source, eng, options);
+    if (!result.completed) {
+      throw std::runtime_error("run_sync: execution hit the round cap (disconnected graph?)");
+    }
+    return static_cast<double>(result.rounds);
+  });
+  return SpreadingTimeSample(std::move(samples));
+}
+
+SpreadingTimeSample measure_async(const Graph& g, NodeId source, core::Mode mode,
+                                  const TrialConfig& config, core::AsyncView view) {
+  core::AsyncOptions options;
+  options.mode = mode;
+  options.view = view;
+  auto samples = run_trials(config, [&](std::uint64_t, rng::Engine& eng) {
+    const auto result = core::run_async(g, source, eng, options);
+    if (!result.completed) {
+      throw std::runtime_error("run_async: execution hit the step cap (disconnected graph?)");
+    }
+    return result.time;
+  });
+  return SpreadingTimeSample(std::move(samples));
+}
+
+SpreadingTimeSample measure_aux(const Graph& g, NodeId source, core::AuxKind kind,
+                                const TrialConfig& config) {
+  core::AuxOptions options;
+  options.kind = kind;
+  auto samples = run_trials(config, [&](std::uint64_t, rng::Engine& eng) {
+    const auto result = core::run_aux(g, source, eng, options);
+    if (!result.completed) {
+      throw std::runtime_error("run_aux: execution hit the round cap (disconnected graph?)");
+    }
+    return static_cast<double>(result.rounds);
+  });
+  return SpreadingTimeSample(std::move(samples));
+}
+
+}  // namespace rumor::sim

@@ -1,0 +1,65 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rumor::sim {
+
+SweepResult::SweepResult(std::vector<SweepPoint> points) : points_(std::move(points)) {
+  assert(!points_.empty());
+}
+
+namespace {
+
+std::pair<std::vector<double>, std::vector<double>> split(const std::vector<SweepPoint>& pts) {
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(pts.size());
+  y.reserve(pts.size());
+  for (const auto& p : pts) {
+    x.push_back(static_cast<double>(p.n));
+    y.push_back(p.value);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+}  // namespace
+
+stats::LinearFit SweepResult::power_law() const {
+  const auto [x, y] = split(points_);
+  return stats::fit_power_law(x, y);
+}
+
+stats::LinearFit SweepResult::logarithmic() const {
+  const auto [x, y] = split(points_);
+  return stats::fit_logarithmic(x, y);
+}
+
+bool SweepResult::is_bounded(double tolerance) const {
+  double lo = points_.front().value;
+  double hi = lo;
+  for (const auto& p : points_) {
+    lo = std::min(lo, p.value);
+    hi = std::max(hi, p.value);
+  }
+  return lo > 0.0 && hi / lo <= 1.0 + tolerance;
+}
+
+SweepResult run_size_sweep(const std::vector<std::uint64_t>& sizes,
+                           const std::function<graph::Graph(std::uint64_t)>& make,
+                           const std::function<double(const graph::Graph&)>& measure) {
+  assert(!sizes.empty());
+  std::vector<SweepPoint> points;
+  points.reserve(sizes.size());
+  for (std::uint64_t n : sizes) {
+    const graph::Graph g = make(n);
+    SweepPoint p;
+    p.n = g.num_nodes();
+    p.value = measure(g);
+    p.graph_name = g.name();
+    points.push_back(std::move(p));
+  }
+  return SweepResult(std::move(points));
+}
+
+}  // namespace rumor::sim

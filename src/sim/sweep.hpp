@@ -1,0 +1,55 @@
+// rumor/sim: structured size sweeps with growth-law fitting.
+//
+// The theorems are asymptotic, so every experiment ultimately runs the same
+// shape: generate the family at increasing n, measure a statistic, and ask
+// which growth law fits. SizeSweep packages that loop with the stats
+// module's estimators so benches and tests share one tested implementation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "stats/regression.hpp"
+
+namespace rumor::sim {
+
+/// One measured point of a sweep.
+struct SweepPoint {
+  std::uint64_t n = 0;     // graph size actually built
+  double value = 0.0;      // measured statistic (mean, quantile, ratio...)
+  std::string graph_name;  // generator tag for reporting
+};
+
+/// A completed sweep with growth-law fits over its points.
+class SweepResult {
+ public:
+  explicit SweepResult(std::vector<SweepPoint> points);
+
+  [[nodiscard]] const std::vector<SweepPoint>& points() const noexcept { return points_; }
+
+  /// Fits value ~ c * n^e; returns e and r^2. Requires >= 2 points.
+  [[nodiscard]] stats::LinearFit power_law() const;
+
+  /// Fits value ~ a ln n + b. Requires >= 2 points.
+  [[nodiscard]] stats::LinearFit logarithmic() const;
+
+  /// True when the values are flat: max/min <= 1 + tolerance.
+  [[nodiscard]] bool is_bounded(double tolerance) const;
+
+ private:
+  std::vector<SweepPoint> points_;
+};
+
+/// Runs `measure` on `make(n)` for each n in `sizes`.
+/// `make` returns the graph (its actual size may differ from the request,
+/// e.g. hypercubes round to powers of two — the built size is recorded);
+/// `measure` maps a graph to the statistic under study.
+[[nodiscard]] SweepResult run_size_sweep(
+    const std::vector<std::uint64_t>& sizes,
+    const std::function<graph::Graph(std::uint64_t)>& make,
+    const std::function<double(const graph::Graph&)>& measure);
+
+}  // namespace rumor::sim

@@ -1,0 +1,63 @@
+#include "stats/regression.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace rumor::stats {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  assert(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  assert(sxx > 0.0 && "x values must not all be identical");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  // r^2 = explained / total variance; define as 1 when y is constant (the
+  // fit then reproduces it exactly).
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+namespace {
+
+std::vector<double> log_all(std::span<const double> v) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  for (double x : v) {
+    assert(x > 0.0);
+    out.push_back(std::log(x));
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearFit fit_power_law(std::span<const double> x, std::span<const double> y) {
+  const auto lx = log_all(x);
+  const auto ly = log_all(y);
+  return fit_linear(lx, ly);
+}
+
+LinearFit fit_logarithmic(std::span<const double> x, std::span<const double> y) {
+  const auto lx = log_all(x);
+  return fit_linear(lx, std::span<const double>(y));
+}
+
+}  // namespace rumor::stats

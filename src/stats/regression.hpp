@@ -1,0 +1,36 @@
+// rumor/stats: least-squares fitting for growth-law estimation.
+//
+// The paper's claims are asymptotic (Theta(log n), Theta(n^{1/3}), O(sqrt n)
+// gaps). The benches verify them by fitting measured spreading times against
+// candidate growth laws:
+//   * log-log slope  -> polynomial exponent (Acan gap graph: sync ~ n^{1/3})
+//   * semi-log slope -> logarithmic growth (star graph: async ~ ln n)
+#pragma once
+
+#include <span>
+
+namespace rumor::stats {
+
+/// Ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 means a perfect line.
+  double r_squared = 0.0;
+};
+
+/// Fits a line through (x[i], y[i]). Precondition: x.size() == y.size() >= 2
+/// and the x values are not all identical.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Fits y = c * x^e by regressing log y on log x; returns e as `slope` and
+/// log c as `intercept`. Preconditions as fit_linear, plus all inputs > 0.
+/// Used to recover polynomial exponents from size sweeps.
+[[nodiscard]] LinearFit fit_power_law(std::span<const double> x, std::span<const double> y);
+
+/// Fits y = a * ln x + b by regressing y on log x; `slope` is a.
+/// Used to verify logarithmic spreading-time laws (star graph, Theorem 1's
+/// additive term). Preconditions as fit_linear, plus all x > 0.
+[[nodiscard]] LinearFit fit_logarithmic(std::span<const double> x, std::span<const double> y);
+
+}  // namespace rumor::stats

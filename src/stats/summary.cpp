@@ -1,0 +1,135 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "rng/rng.hpp"
+
+namespace rumor::stats {
+
+double RunningMoments::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningMoments::stderr_mean() const noexcept {
+  return count_ > 1 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+void RunningMoments::merge(const RunningMoments& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile(std::span<const double> samples, double q) {
+  assert(!samples.empty());
+  std::vector<double> copy(samples.begin(), samples.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Index of the type-1 quantile: smallest k with (k+1)/n >= q.
+  const std::size_t n = copy.size();
+  std::size_t k = 0;
+  if (clamped > 0.0) {
+    const double pos = std::ceil(clamped * static_cast<double>(n)) - 1.0;
+    k = pos < 0.0 ? 0 : static_cast<std::size_t>(pos);
+    if (k >= n) k = n - 1;
+  }
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(k), copy.end());
+  return copy[k];
+}
+
+double quantile_sorted(std::span<const double> sorted_samples, double q) {
+  assert(!sorted_samples.empty());
+  assert(std::is_sorted(sorted_samples.begin(), sorted_samples.end()));
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const std::size_t n = sorted_samples.size();
+  std::size_t k = 0;
+  if (clamped > 0.0) {
+    const double pos = std::ceil(clamped * static_cast<double>(n)) - 1.0;
+    k = pos < 0.0 ? 0 : static_cast<std::size_t>(pos);
+    if (k >= n) k = n - 1;
+  }
+  return sorted_samples[k];
+}
+
+double spreading_time_quantile(std::span<const double> samples, double q) {
+  return quantile(samples, 1.0 - q);
+}
+
+namespace {
+
+template <class Statistic>
+BootstrapInterval bootstrap_ci(std::span<const double> samples, double confidence,
+                               std::size_t resamples, std::uint64_t seed, Statistic stat) {
+  assert(!samples.empty());
+  assert(confidence > 0.0 && confidence < 1.0);
+  rng::Engine eng = rng::derive_stream(seed, 0xb007ULL);
+  std::vector<double> resample(samples.size());
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& x : resample) {
+      x = samples[static_cast<std::size_t>(rng::uniform_below(eng, samples.size()))];
+    }
+    estimates.push_back(stat(std::span<const double>(resample)));
+  }
+  std::sort(estimates.begin(), estimates.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  BootstrapInterval ci;
+  ci.lower = quantile_sorted(estimates, alpha);
+  ci.upper = quantile_sorted(estimates, 1.0 - alpha);
+  ci.point = stat(samples);
+  return ci;
+}
+
+}  // namespace
+
+BootstrapInterval bootstrap_mean_ci(std::span<const double> samples, double confidence,
+                                    std::size_t resamples, std::uint64_t seed) {
+  return bootstrap_ci(samples, confidence, resamples, seed, [](std::span<const double> s) {
+    double sum = 0.0;
+    for (double x : s) sum += x;
+    return sum / static_cast<double>(s.size());
+  });
+}
+
+BootstrapInterval bootstrap_quantile_ci(std::span<const double> samples, double q,
+                                        double confidence, std::size_t resamples,
+                                        std::uint64_t seed) {
+  return bootstrap_ci(samples, confidence, resamples, seed,
+                      [q](std::span<const double> s) { return quantile(s, q); });
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  assert(hi > lo);
+  assert(bins > 0);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const noexcept {
+  return bin_low(bin + 1);
+}
+
+}  // namespace rumor::stats

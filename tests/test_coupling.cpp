@@ -1,0 +1,285 @@
+// Tests for the two coupling constructions:
+//
+//   * run_pull_coupling (Lemmas 9/10): joint execution of ppx/ppy/pp-a on
+//     shared randomness; checks the proofs' pathwise affine inequalities and
+//     that the coupled marginals match the standalone engines.
+//   * run_block_coupling (Section 5): the Lemma 13 subset invariant, the
+//     block accounting of Lemma 14, and the resulting Theorem 11 shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/coupling_blocks.hpp"
+#include "core/coupling_pull.hpp"
+#include "core/sync.hpp"
+#include "dist/distributions.hpp"
+#include "graph/generators.hpp"
+#include "rng/rng.hpp"
+#include "sim/harness.hpp"
+
+using namespace rumor;
+
+namespace {
+
+graph::Graph test_graph(int which) {
+  switch (which) {
+    case 0: return graph::hypercube(6);
+    case 1: return graph::complete(64);
+    case 2: return graph::star(128);
+    case 3: return graph::cycle(48);
+    case 4: return graph::complete_binary_tree(127);
+    default: return graph::torus(8);
+  }
+}
+
+}  // namespace
+
+// --- Pull coupling (Lemmas 9/10) ----------------------------------------------
+
+TEST(PullCoupling, CompletesAndSourceAtZero) {
+  auto eng = rng::derive_stream(5050, 0);
+  const auto g = graph::hypercube(6);
+  const auto run = core::run_pull_coupling(g, 0, eng);
+  ASSERT_TRUE(run.completed);
+  EXPECT_EQ(run.round_ppx[0], 0u);
+  EXPECT_EQ(run.round_ppy[0], 0u);
+  EXPECT_DOUBLE_EQ(run.time_ppa[0], 0.0);
+  EXPECT_GT(run.ppx_rounds(), 0u);
+  EXPECT_GT(run.ppy_rounds(), 0u);
+  EXPECT_GT(run.ppa_time(), 0.0);
+}
+
+TEST(PullCoupling, DeterministicGivenSeed) {
+  const auto g = graph::torus(6);
+  auto a_eng = rng::derive_stream(5050, 1);
+  auto b_eng = rng::derive_stream(5050, 1);
+  const auto a = core::run_pull_coupling(g, 0, a_eng);
+  const auto b = core::run_pull_coupling(g, 0, b_eng);
+  EXPECT_EQ(a.round_ppx, b.round_ppx);
+  EXPECT_EQ(a.round_ppy, b.round_ppy);
+  EXPECT_EQ(a.time_ppa, b.time_ppa);
+}
+
+class PullCouplingInequalities : public ::testing::TestWithParam<int> {};
+
+// Lemma 9's conclusion, per node and pathwise: r'_v <= 2 r_v + O(log n)
+// with high probability. We run many coupled executions and require the
+// affine bound (constant 12 on the log) to hold for every node in at least
+// 98% of runs.
+TEST_P(PullCouplingInequalities, PpyWithinAffineOfPpx) {
+  const auto g = test_graph(GetParam());
+  const double logn = std::log(static_cast<double>(g.num_nodes()));
+  int violations = 0;
+  constexpr int kRuns = 50;
+  for (int i = 0; i < kRuns; ++i) {
+    auto eng = rng::derive_stream(5151, static_cast<std::uint64_t>(i));
+    const auto run = core::run_pull_coupling(g, 0, eng);
+    ASSERT_TRUE(run.completed);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const double rx = static_cast<double>(run.round_ppx[v]);
+      const double ry = static_cast<double>(run.round_ppy[v]);
+      if (ry > 2.0 * rx + 12.0 * logn) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(violations, 1) << g.name();
+}
+
+// Lemma 10's conclusion: t_v <= 4 r'_v + O(log n) pathwise whp.
+TEST_P(PullCouplingInequalities, AsyncWithinAffineOfPpy) {
+  const auto g = test_graph(GetParam());
+  const double logn = std::log(static_cast<double>(g.num_nodes()));
+  int violations = 0;
+  constexpr int kRuns = 50;
+  for (int i = 0; i < kRuns; ++i) {
+    auto eng = rng::derive_stream(5252, static_cast<std::uint64_t>(i));
+    const auto run = core::run_pull_coupling(g, 0, eng);
+    ASSERT_TRUE(run.completed);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const double ry = static_cast<double>(run.round_ppy[v]);
+      if (run.time_ppa[v] > 4.0 * ry + 12.0 * logn) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(violations, 1) << g.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, PullCouplingInequalities, ::testing::Range(0, 6));
+
+// The coupled ppx must have the same *marginal* law as the standalone ppx
+// engine (and likewise ppy) — this is the "coupling is valid" claim of
+// Lemma 9's proof, checked by two-sample KS.
+TEST(PullCoupling, CoupledPpxMarginalMatchesStandalone) {
+  const auto g = graph::hypercube(6);
+  constexpr int kTrials = 400;
+  std::vector<double> coupled;
+  for (int i = 0; i < kTrials; ++i) {
+    auto eng = rng::derive_stream(5353, static_cast<std::uint64_t>(i));
+    const auto run = core::run_pull_coupling(g, 0, eng);
+    coupled.push_back(static_cast<double>(run.ppx_rounds()));
+  }
+  sim::TrialConfig config;
+  config.trials = kTrials;
+  config.seed = 5354;
+  const auto standalone = sim::measure_aux(g, 0, core::AuxKind::kPpx, config);
+  const double ks =
+      dist::ks_statistic(dist::Ecdf(coupled), dist::Ecdf(standalone.samples()));
+  EXPECT_LT(ks, 0.14);  // 99.9% two-sample critical value at n=m=400
+}
+
+TEST(PullCoupling, CoupledPpyMarginalMatchesStandalone) {
+  const auto g = graph::hypercube(6);
+  constexpr int kTrials = 400;
+  std::vector<double> coupled;
+  for (int i = 0; i < kTrials; ++i) {
+    auto eng = rng::derive_stream(5355, static_cast<std::uint64_t>(i));
+    const auto run = core::run_pull_coupling(g, 0, eng);
+    coupled.push_back(static_cast<double>(run.ppy_rounds()));
+  }
+  sim::TrialConfig config;
+  config.trials = kTrials;
+  config.seed = 5356;
+  const auto standalone = sim::measure_aux(g, 0, core::AuxKind::kPpy, config);
+  const double ks =
+      dist::ks_statistic(dist::Ecdf(coupled), dist::Ecdf(standalone.samples()));
+  EXPECT_LT(ks, 0.14);
+}
+
+// The coupled pp-a must match the direct asynchronous engine.
+TEST(PullCoupling, CoupledAsyncMarginalMatchesEngine) {
+  const auto g = graph::hypercube(6);
+  constexpr int kTrials = 400;
+  std::vector<double> coupled;
+  for (int i = 0; i < kTrials; ++i) {
+    auto eng = rng::derive_stream(5357, static_cast<std::uint64_t>(i));
+    const auto run = core::run_pull_coupling(g, 0, eng);
+    coupled.push_back(run.ppa_time());
+  }
+  sim::TrialConfig config;
+  config.trials = kTrials;
+  config.seed = 5358;
+  const auto engine = sim::measure_async(g, 0, core::Mode::kPushPull, config);
+  const double ks =
+      dist::ks_statistic(dist::Ecdf(coupled), dist::Ecdf(engine.samples()));
+  EXPECT_LT(ks, 0.14);
+}
+
+// --- Block coupling (Section 5) -------------------------------------------------
+
+class BlockCouplingInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockCouplingInvariants, CompletesAndSubsetInvariantHolds) {
+  const auto g = test_graph(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    auto eng = rng::derive_stream(6060, static_cast<std::uint64_t>(i));
+    const auto stats = core::run_block_coupling(g, 0, eng);
+    ASSERT_TRUE(stats.completed) << g.name();
+    EXPECT_TRUE(stats.subset_invariant_held) << g.name() << " run " << i;  // Lemma 13
+    EXPECT_GE(stats.steps, g.num_nodes() - 1u);  // each step informs <= 1 node
+    EXPECT_GT(stats.rounds, 0u);
+  }
+}
+
+TEST_P(BlockCouplingInvariants, BlockAccountingIsConsistent) {
+  const auto g = test_graph(GetParam());
+  auto eng = rng::derive_stream(6161, static_cast<std::uint64_t>(GetParam()));
+  const auto stats = core::run_block_coupling(g, 0, eng);
+  ASSERT_TRUE(stats.completed);
+  // Every special block stems from a right-incompatible closure.
+  EXPECT_LE(stats.special_blocks, stats.right_blocks);
+  EXPECT_GE(stats.special_rounds, stats.special_blocks);  // each consumes >= 1 round
+  // Rounds decompose into normal-block rounds (1 each) + special rounds.
+  const std::uint64_t normal_blocks =
+      stats.full_blocks + stats.left_blocks + stats.right_blocks;
+  EXPECT_LE(stats.rounds, normal_blocks + stats.special_rounds + 1);
+  // pp completes no later than pp-a under the coupling (Lemma 13).
+  EXPECT_NE(stats.sync_rounds_to_complete, core::kNeverRound);
+  EXPECT_LE(stats.sync_rounds_to_complete, stats.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, BlockCouplingInvariants, ::testing::Range(0, 6));
+
+TEST(BlockCoupling, DeterministicGivenSeed) {
+  const auto g = graph::torus(6);
+  auto a_eng = rng::derive_stream(6262, 0);
+  auto b_eng = rng::derive_stream(6262, 0);
+  const auto a = core::run_block_coupling(g, 0, a_eng);
+  const auto b = core::run_block_coupling(g, 0, b_eng);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_DOUBLE_EQ(a.async_time, b.async_time);
+}
+
+TEST(BlockCoupling, RespectsCustomBlockCapacity) {
+  const auto g = graph::hypercube(5);
+  auto eng = rng::derive_stream(6263, 0);
+  core::BlockCouplingOptions opts;
+  opts.block_capacity = 1;  // every block is full after one step
+  const auto stats = core::run_block_coupling(g, 0, eng, opts);
+  ASSERT_TRUE(stats.completed);
+  // With capacity 1 nothing can be left/right-incompatible inside a block.
+  EXPECT_EQ(stats.left_blocks, 0u);
+  EXPECT_EQ(stats.right_blocks, 0u);
+  // Every round comes from a full single-step block, except possibly the
+  // final block, which the end of the run can truncate.
+  EXPECT_GE(stats.rounds, stats.full_blocks);
+  EXPECT_LE(stats.rounds, stats.full_blocks + 1);
+}
+
+// Lemma 14's shape: E[rho_tau] = O(E[tau]/sqrt(n) + sqrt(n)). We measure the
+// averages and require the measured constant to be modest.
+TEST(BlockCoupling, Lemma14RoundsBound) {
+  const auto g = graph::hypercube(7);  // n = 128
+  const double sqrt_n = std::sqrt(128.0);
+  double avg_rounds = 0.0;
+  double avg_budget = 0.0;
+  constexpr int kRuns = 40;
+  for (int i = 0; i < kRuns; ++i) {
+    auto eng = rng::derive_stream(6364, static_cast<std::uint64_t>(i));
+    const auto stats = core::run_block_coupling(g, 0, eng);
+    ASSERT_TRUE(stats.completed);
+    avg_rounds += static_cast<double>(stats.rounds);
+    avg_budget += static_cast<double>(stats.steps) / sqrt_n + sqrt_n;
+  }
+  avg_rounds /= kRuns;
+  avg_budget /= kRuns;
+  EXPECT_LE(avg_rounds, 8.0 * avg_budget);
+}
+
+// The special-block analysis bounds E[rho_special] <= 2 sqrt(n) for *any* t.
+TEST(BlockCoupling, SpecialRoundsAreOrderSqrtN) {
+  const auto g = graph::complete(256);  // dense: the hardest case for specials
+  double avg_special = 0.0;
+  constexpr int kRuns = 30;
+  for (int i = 0; i < kRuns; ++i) {
+    auto eng = rng::derive_stream(6465, static_cast<std::uint64_t>(i));
+    const auto stats = core::run_block_coupling(g, 0, eng);
+    ASSERT_TRUE(stats.completed);
+    avg_special += static_cast<double>(stats.special_rounds);
+  }
+  avg_special /= kRuns;
+  EXPECT_LE(avg_special, 8.0 * std::sqrt(256.0));
+}
+
+// Theorem 11 shape via the coupling: E[T(pp)] = O(sqrt(n) E[T(pp-a)] + sqrt(n)).
+TEST(BlockCoupling, Theorem11Shape) {
+  const auto g = graph::hypercube(7);
+  double avg_sync = 0.0;
+  double avg_async = 0.0;
+  constexpr int kRuns = 40;
+  for (int i = 0; i < kRuns; ++i) {
+    auto eng = rng::derive_stream(6566, static_cast<std::uint64_t>(i));
+    const auto stats = core::run_block_coupling(g, 0, eng);
+    ASSERT_TRUE(stats.completed);
+    avg_sync += static_cast<double>(stats.sync_rounds_to_complete);
+    avg_async += stats.async_time;
+  }
+  avg_sync /= kRuns;
+  avg_async /= kRuns;
+  const double sqrt_n = std::sqrt(128.0);
+  EXPECT_LE(avg_sync, 8.0 * (sqrt_n * avg_async + sqrt_n));
+}

@@ -1,0 +1,133 @@
+// Tests for rumor::graph expansion parameters — exact conductance / vertex
+// expansion on graphs with known values, the spectral sweep against the
+// exact answer (Cheeger sandwich), and spectral gaps of known families.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/expansion.hpp"
+#include "graph/generators.hpp"
+#include "rng/rng.hpp"
+
+namespace graph = rumor::graph;
+namespace rng = rumor::rng;
+
+TEST(ConductanceExact, CompleteGraph) {
+  // K_n: the worst cut is the balanced one; for K_6, S of size 3 gives
+  // cut = 9, vol(S) = 15, phi = 9/15 = 0.6.
+  EXPECT_NEAR(graph::conductance_exact(graph::complete(6)), 0.6, 1e-12);
+}
+
+TEST(ConductanceExact, CycleIsTwoOverN) {
+  // C_n: best cut is an arc of n/2 vertices: cut = 2, vol = n, phi = 2/n.
+  EXPECT_NEAR(graph::conductance_exact(graph::cycle(12)), 2.0 / 12.0, 1e-12);
+  EXPECT_NEAR(graph::conductance_exact(graph::cycle(16)), 2.0 / 16.0, 1e-12);
+}
+
+TEST(ConductanceExact, PathIsOneOverFloorVol) {
+  // P_n: cutting the middle edge gives cut 1, vol n-1 per side; phi ~ 1/(n-1).
+  const auto g = graph::path(10);
+  EXPECT_NEAR(graph::conductance_exact(g), 1.0 / 9.0, 1e-12);
+}
+
+TEST(ConductanceExact, StarIsLeafCut) {
+  // Star S_n: min(vol) side is any leaf set; a single leaf has cut 1 /
+  // vol 1 = 1... the balanced cut: S = (n-1)/2 leaves: cut = |S|, vol = |S|.
+  // So phi = 1 for every cut that avoids the hub; cuts containing the hub
+  // have vol >= n-1 >= other side. phi(star) = 1 when the smaller side is
+  // all leaves... For n=8: S = 3 leaves + hub? vol(S) = 3 + 7 = 10 > 7.
+  // Actual minimum: any S of leaves only: cut=|S|=vol(S) -> 1. phi = 1.
+  EXPECT_NEAR(graph::conductance_exact(graph::star(8)), 1.0, 1e-12);
+}
+
+TEST(ConductanceSweep, UpperBoundsAndFindsCycleCut) {
+  // The sweep returns a real cut's conductance, so it upper-bounds the
+  // exact value; on the cycle the spectral order recovers the optimal arc.
+  const auto g = graph::cycle(16);
+  const double exact = graph::conductance_exact(g);
+  const double sweep = graph::conductance_sweep(g);
+  EXPECT_GE(sweep, exact - 1e-12);
+  EXPECT_NEAR(sweep, exact, 1e-9);
+}
+
+TEST(ConductanceSweep, NearExactOnBarbell) {
+  // Barbell: the bottleneck is the path between the cliques; the sweep must
+  // find a cut within a small factor of exact.
+  const auto g = graph::barbell(8, 2);  // n = 18
+  const double exact = graph::conductance_exact(g);
+  const double sweep = graph::conductance_sweep(g);
+  EXPECT_GE(sweep, exact - 1e-12);
+  EXPECT_LE(sweep, 3.0 * exact);
+}
+
+TEST(ConductanceSweep, ScalesToLargerGraphs) {
+  auto eng = rng::derive_stream(61, 0);
+  const auto g = graph::random_regular(512, 6, eng);
+  const double phi = graph::conductance_sweep(g);
+  // Random regular graphs are expanders: phi = Theta(1), well above 0.05.
+  EXPECT_GT(phi, 0.05);
+  EXPECT_LE(phi, 1.0);
+}
+
+TEST(VertexExpansionExact, CompleteGraph) {
+  // K_n: any S with |S| <= n/2 has N(S)\S = V\S, so alpha = min (n-|S|)/|S|
+  // = (n - n/2)/(n/2) = 1 for even n.
+  EXPECT_NEAR(graph::vertex_expansion_exact(graph::complete(8)), 1.0, 1e-12);
+}
+
+TEST(VertexExpansionExact, CycleIsTwoOverHalf) {
+  // C_n: a contiguous arc of n/2 has boundary 2: alpha = 2/(n/2) = 4/n.
+  EXPECT_NEAR(graph::vertex_expansion_exact(graph::cycle(12)), 2.0 / 6.0, 1e-12);
+}
+
+TEST(VertexExpansionExact, PathEndpointHeavy) {
+  // P_4 {0,1,2,3}: S = {0,1} has boundary {2}: alpha = 1/2.
+  EXPECT_NEAR(graph::vertex_expansion_exact(graph::path(4)), 0.5, 1e-12);
+}
+
+TEST(SpectralGap, CompleteGraphIsHalfNOverNMinusOne) {
+  // Lazy walk on K_n: lambda_2 = (1 - 1/(n-1))/2 + 1/2 - ... the lazy walk
+  // W = (I + A/(n-1))/2 has second eigenvalue (1 - 1/(n-1))/2.
+  const double gap = graph::spectral_gap(graph::complete(10));
+  const double expected = 1.0 - 0.5 * (1.0 - 1.0 / 9.0);
+  EXPECT_NEAR(gap, expected, 1e-6);
+}
+
+TEST(SpectralGap, CycleMatchesCosine) {
+  // C_n lazy walk: lambda_2 = (1 + cos(2 pi / n)) / 2.
+  const int n = 16;
+  const double gap = graph::spectral_gap(graph::cycle(n));
+  const double expected = 1.0 - 0.5 * (1.0 + std::cos(2.0 * M_PI / n));
+  EXPECT_NEAR(gap, expected, 1e-6);
+}
+
+TEST(SpectralGap, ExpanderBeatsCycle) {
+  auto eng = rng::derive_stream(62, 0);
+  const auto expander = graph::random_regular(128, 6, eng);
+  const double expander_gap = graph::spectral_gap(expander);
+  const double cycle_gap = graph::spectral_gap(graph::cycle(128));
+  EXPECT_GT(expander_gap, 20.0 * cycle_gap);
+}
+
+TEST(SpectralGap, CheegerSandwich) {
+  // gap/2 <= phi and phi^2/2 <= gap (lazy-walk Cheeger, within slack).
+  for (const auto& g : {graph::cycle(14), graph::complete(10), graph::barbell(6, 2)}) {
+    const double gap = graph::spectral_gap(g);
+    const double phi = graph::conductance_exact(g);
+    EXPECT_LE(gap / 2.0, phi + 1e-9) << g.name();
+    EXPECT_LE(phi * phi / 2.0, gap + 1e-9) << g.name();
+  }
+}
+
+TEST(SpectralOrder, SeparatesBarbellSides) {
+  // The Fiedler order must put one clique before the other.
+  const auto g = graph::barbell(6, 0);  // two 6-cliques joined by an edge
+  const auto order = graph::spectral_order(g);
+  // Count clique-0 nodes among the first six positions: a correct Fiedler
+  // ordering puts one whole clique first, so this is 0 or 6.
+  int clique0_in_front = 0;
+  for (std::size_t pos = 0; pos < 6; ++pos) {
+    if (order[pos] < 6) ++clique0_in_front;
+  }
+  EXPECT_TRUE(clique0_in_front == 0 || clique0_in_front == 6) << clique0_in_front;
+}

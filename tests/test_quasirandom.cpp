@@ -1,0 +1,103 @@
+// Tests for the quasirandom protocol [11]: completion, determinism given
+// the start slots, the cycle's deterministic frontier fact, and parity with
+// the fully random protocol on expanders (the [11] experimental finding).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/quasirandom.hpp"
+#include "core/sync.hpp"
+#include "graph/generators.hpp"
+#include "rng/rng.hpp"
+#include "sim/harness.hpp"
+
+using namespace rumor;
+
+TEST(Quasirandom, CompletesOnCanonicalGraphs) {
+  for (const auto& g : {graph::hypercube(6), graph::star(64), graph::cycle(48),
+                        graph::complete(32), graph::torus(7)}) {
+    auto eng = rng::derive_stream(1300, 0);
+    const auto r = core::run_quasirandom(g, 0, eng);
+    ASSERT_TRUE(r.completed) << g.name();
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NE(r.informed_round[v], core::kNeverRound);
+    }
+  }
+}
+
+TEST(Quasirandom, DeterministicGivenSeed) {
+  const auto g = graph::torus(8);
+  auto e1 = rng::derive_stream(1301, 0);
+  auto e2 = rng::derive_stream(1301, 0);
+  const auto a = core::run_quasirandom(g, 0, e1);
+  const auto b = core::run_quasirandom(g, 0, e2);
+  EXPECT_EQ(a.informed_round, b.informed_round);
+}
+
+TEST(Quasirandom, ConsumesOneDrawPerNodeOnly) {
+  // The model draws exactly one start slot per non-isolated node; engine
+  // state afterwards must be exactly n draws ahead.
+  const auto g = graph::cycle(32);
+  auto eng = rng::derive_stream(1302, 0);
+  auto reference = rng::derive_stream(1302, 0);
+  (void)core::run_quasirandom(g, 0, eng);
+  for (int i = 0; i < 32; ++i) (void)rng::uniform_below(reference, 2);
+  EXPECT_EQ(eng.next(), reference.next());
+}
+
+TEST(Quasirandom, CycleCoversInTwoRoundsPerHopWorstCase) {
+  // On the cycle each informed node alternates between its two neighbors,
+  // so the frontier advances every <= 2 rounds deterministically once a
+  // node is informed: total <= 2 * ceil(n/2) + O(1), and >= n/2 - 1.
+  const auto g = graph::cycle(64);
+  for (int i = 0; i < 20; ++i) {
+    auto eng = rng::derive_stream(1303, static_cast<std::uint64_t>(i));
+    const auto r = core::run_quasirandom(g, 0, eng);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GE(r.rounds, 31u);
+    EXPECT_LE(r.rounds, 66u);
+  }
+}
+
+TEST(Quasirandom, StarFromLeafIsTwoRounds) {
+  // Quasirandom or not, leaves have one neighbor and the hub informs in
+  // round 1 via the source's push; round 2 pulls everywhere.
+  const auto g = graph::star(64);
+  auto eng = rng::derive_stream(1304, 0);
+  const auto r = core::run_quasirandom(g, 1, eng);
+  ASSERT_TRUE(r.completed);
+  EXPECT_LE(r.rounds, 2u);
+}
+
+TEST(Quasirandom, MatchesFullyRandomScaleOnHypercube) {
+  // The [11] finding: quasirandom spreading time is within a small constant
+  // of the fully random protocol on classical families.
+  const auto g = graph::hypercube(8);
+  constexpr int kTrials = 150;
+  double quasi = 0.0;
+  for (int i = 0; i < kTrials; ++i) {
+    auto eng = rng::derive_stream(1305, static_cast<std::uint64_t>(i));
+    quasi += static_cast<double>(core::run_quasirandom(g, 0, eng).rounds);
+  }
+  quasi /= kTrials;
+  sim::TrialConfig config;
+  config.trials = kTrials;
+  config.seed = 1306;
+  const auto random = sim::measure_sync(g, 0, core::Mode::kPushPull, config);
+  EXPECT_NEAR(quasi / random.mean(), 1.0, 0.25);
+}
+
+TEST(Quasirandom, PushOnlyStillCompletes) {
+  const auto g = graph::hypercube(6);
+  auto eng = rng::derive_stream(1307, 0);
+  const auto r = core::run_quasirandom(g, 0, eng, {.mode = core::Mode::kPush});
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Quasirandom, RespectsRoundCap) {
+  const auto g = graph::path(64);
+  auto eng = rng::derive_stream(1308, 0);
+  const auto r = core::run_quasirandom(g, 0, eng, {.max_rounds = 3});
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.rounds, 3u);
+}

@@ -1,0 +1,167 @@
+// Tests for the paper's standalone remarks and corollaries that aren't
+// covered by a dedicated module:
+//
+//   Remark 12    for an incompatible-free sequence of pairs, executing the
+//                communications sequentially (pp-a style) or in parallel
+//                (one pp round) yields the same final informed set;
+//   Corollary 3  on regular graphs, sync push and sync push-pull have the
+//                same high-probability spreading time up to constants;
+//   footnote 3   E[steps]/n equals E[time] for pp-a.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rumor.hpp"
+#include "rng/rng.hpp"
+#include "sim/harness.hpp"
+
+using namespace rumor;
+
+namespace {
+
+struct Pair {
+  graph::NodeId x;
+  graph::NodeId y;
+};
+
+std::vector<bool> apply_sequential(const graph::Graph& g, std::vector<bool> informed,
+                                   const std::vector<Pair>& seq) {
+  for (const Pair& p : seq) {
+    EXPECT_TRUE(g.has_edge(p.x, p.y));
+    const bool x_in = informed[p.x];
+    const bool y_in = informed[p.y];
+    if (x_in != y_in) informed[p.x] = informed[p.y] = true;
+  }
+  return informed;
+}
+
+std::vector<bool> apply_parallel(const graph::Graph& g, std::vector<bool> informed,
+                                 const std::vector<Pair>& seq) {
+  std::vector<graph::NodeId> newly;
+  for (const Pair& p : seq) {
+    EXPECT_TRUE(g.has_edge(p.x, p.y));
+    const bool x_in = informed[p.x];
+    const bool y_in = informed[p.y];
+    if (x_in != y_in) newly.push_back(x_in ? p.y : p.x);
+  }
+  for (graph::NodeId v : newly) informed[v] = true;
+  return informed;
+}
+
+/// Checks the incompatible-free conditions of Section 5 for `seq` given the
+/// starting informed set: no caller repeats as caller/callee (left), and no
+/// callee was informed during the sequence (right).
+bool incompatible_free(const std::vector<Pair>& seq, std::vector<bool> informed) {
+  std::vector<graph::NodeId> touched;
+  std::vector<bool> newly(informed.size(), false);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const auto [x, y] = seq[i];
+    for (graph::NodeId t : touched) {
+      if (t == x) return false;  // left-incompatible
+    }
+    if (newly[y]) return false;  // right-incompatible
+    const bool x_in = informed[x];
+    const bool y_in = informed[y];
+    if (x_in != y_in) {
+      const graph::NodeId target = x_in ? y : x;
+      informed[target] = true;
+      newly[target] = true;
+    }
+    touched.push_back(x);
+    touched.push_back(y);
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(Remark12, SequentialEqualsParallelOnIncompatibleFreeSequences) {
+  // Randomly generated candidate sequences on a hypercube; whenever the
+  // sequence is incompatible-free, both application orders must agree.
+  const auto g = graph::hypercube(5);
+  auto eng = rng::derive_stream(1400, 0);
+  int checked = 0;
+  for (int trial = 0; trial < 4000 && checked < 400; ++trial) {
+    std::vector<bool> informed(g.num_nodes(), false);
+    informed[0] = true;
+    // A random short step sequence.
+    std::vector<Pair> seq;
+    const int len = 1 + static_cast<int>(rng::uniform_below(eng, 6));
+    for (int i = 0; i < len; ++i) {
+      const auto x = static_cast<graph::NodeId>(rng::uniform_below(eng, g.num_nodes()));
+      seq.push_back(Pair{x, g.random_neighbor(x, eng)});
+    }
+    if (!incompatible_free(seq, informed)) continue;
+    ++checked;
+    EXPECT_EQ(apply_sequential(g, informed, seq), apply_parallel(g, informed, seq));
+  }
+  EXPECT_GE(checked, 400);
+}
+
+TEST(Remark12, CounterexampleWhenRightIncompatible) {
+  // The remark fails without the conditions: on a path 0-1-2, the sequence
+  // (1 pulls from 0), then (2 pulls from 1) informs 2 sequentially but not
+  // in one parallel round — the canonical chain the block rules exclude.
+  const auto g = graph::path(3);
+  std::vector<bool> informed{true, false, false};
+  const std::vector<Pair> seq{{1, 0}, {2, 1}};
+  EXPECT_FALSE(incompatible_free(seq, informed));
+  const auto sequential = apply_sequential(g, informed, seq);
+  const auto parallel = apply_parallel(g, informed, seq);
+  EXPECT_TRUE(sequential[2]);
+  EXPECT_FALSE(parallel[2]);
+}
+
+TEST(Corollary3, PushOverPushPullBoundedOnRegularFamilies) {
+  // hp-time ratio push/pp stays within a constant band and does not grow
+  // between the two sizes of each family.
+  auto gen_eng = rng::derive_stream(1401, 0);
+  struct Row {
+    graph::Graph g;
+  };
+  std::vector<Row> rows;
+  rows.push_back({graph::hypercube(7)});
+  rows.push_back({graph::hypercube(9)});
+  rows.push_back({graph::torus(11)});
+  rows.push_back({graph::torus(22)});
+  rows.push_back({graph::random_regular(256, 4, gen_eng)});
+  rows.push_back({graph::random_regular(1024, 4, gen_eng)});
+
+  std::vector<double> ratios;
+  for (const auto& [g] : rows) {
+    ASSERT_TRUE(g.is_regular()) << g.name();
+    sim::TrialConfig config;
+    config.trials = 250;
+    config.seed = 1402;
+    const double q = 1.0 - 1.0 / 250.0;
+    const auto push = sim::measure_sync(g, 0, core::Mode::kPush, config);
+    const auto pp = sim::measure_sync(g, 0, core::Mode::kPushPull, config);
+    ratios.push_back(push.quantile(q) / pp.quantile(q));
+  }
+  for (double r : ratios) {
+    EXPECT_GE(r, 1.0);  // push-pull can't be slower than push
+    EXPECT_LE(r, 3.0);  // Theta(1), small constant in practice
+  }
+  // No growth within a family (pairs are consecutive).
+  for (std::size_t i = 0; i + 1 < ratios.size(); i += 2) {
+    EXPECT_LT(ratios[i + 1], ratios[i] * 1.5);
+  }
+}
+
+TEST(Footnote3, StepsOverNMatchesTimeInExpectation) {
+  auto gen_eng = rng::derive_stream(1403, 0);
+  const auto g = graph::preferential_attachment(256, 3, gen_eng);
+  constexpr int kTrials = 300;
+  double mean_time = 0.0;
+  double mean_steps = 0.0;
+  for (int i = 0; i < kTrials; ++i) {
+    auto eng = rng::derive_stream(1404, static_cast<std::uint64_t>(i));
+    const auto r = core::run_async(g, 0, eng);
+    mean_time += r.time;
+    mean_steps += static_cast<double>(r.steps);
+  }
+  mean_time /= kTrials;
+  mean_steps /= kTrials;
+  EXPECT_NEAR(mean_steps / 256.0 / mean_time, 1.0, 0.05);
+}

@@ -1,0 +1,128 @@
+// Tests for the sweep framework and the worst-case-source search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rumor.hpp"
+#include "sim/adversary.hpp"
+#include "sim/harness.hpp"
+#include "sim/sweep.hpp"
+
+using namespace rumor;
+
+// --- SizeSweep ---------------------------------------------------------------
+
+TEST(Sweep, RecordsActualSizesAndNames) {
+  const auto result = sim::run_size_sweep(
+      {100, 200}, [](std::uint64_t n) { return graph::cycle(static_cast<graph::NodeId>(n)); },
+      [](const graph::Graph& g) { return static_cast<double>(g.num_edges()); });
+  ASSERT_EQ(result.points().size(), 2u);
+  EXPECT_EQ(result.points()[0].n, 100u);
+  EXPECT_EQ(result.points()[1].value, 200.0);
+  EXPECT_EQ(result.points()[0].graph_name, "cycle(n=100)");
+}
+
+TEST(Sweep, PowerLawFitRecoversLinearGrowth) {
+  const auto result = sim::run_size_sweep(
+      {64, 128, 256, 512},
+      [](std::uint64_t n) { return graph::path(static_cast<graph::NodeId>(n)); },
+      [](const graph::Graph& g) { return 3.0 * static_cast<double>(g.num_nodes()); });
+  const auto fit = result.power_law();
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Sweep, LogFitRecoversLogGrowth) {
+  const auto result = sim::run_size_sweep(
+      {64, 256, 1024}, [](std::uint64_t n) { return graph::star(static_cast<graph::NodeId>(n)); },
+      [](const graph::Graph& g) { return 2.0 * std::log(static_cast<double>(g.num_nodes())); });
+  const auto fit = result.logarithmic();
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+}
+
+TEST(Sweep, BoundedDetection) {
+  const auto flat = sim::run_size_sweep(
+      {10, 20, 40}, [](std::uint64_t n) { return graph::cycle(static_cast<graph::NodeId>(n)); },
+      [](const graph::Graph&) { return 5.0; });
+  EXPECT_TRUE(flat.is_bounded(0.01));
+  const auto growing = sim::run_size_sweep(
+      {10, 20, 40}, [](std::uint64_t n) { return graph::cycle(static_cast<graph::NodeId>(n)); },
+      [](const graph::Graph& g) { return static_cast<double>(g.num_nodes()); });
+  EXPECT_FALSE(growing.is_bounded(0.5));
+}
+
+// End-to-end: the sweep framework reproduces the E3 star laws.
+TEST(Sweep, StarLawsEndToEnd) {
+  auto async_mean = [](const graph::Graph& g) {
+    sim::TrialConfig config;
+    config.trials = 120;
+    config.seed = 1234;
+    return sim::measure_async(g, 1, core::Mode::kPushPull, config).mean();
+  };
+  const auto async_sweep = sim::run_size_sweep(
+      {128, 512, 2048},
+      [](std::uint64_t n) { return graph::star(static_cast<graph::NodeId>(n)); }, async_mean);
+  const auto fit = async_sweep.logarithmic();
+  EXPECT_NEAR(fit.slope, 1.0, 0.35);  // ~ ln n growth
+  EXPECT_GT(fit.r_squared, 0.97);
+
+  auto sync_mean = [](const graph::Graph& g) {
+    sim::TrialConfig config;
+    config.trials = 60;
+    config.seed = 1235;
+    return sim::measure_sync(g, 1, core::Mode::kPushPull, config).mean();
+  };
+  const auto sync_sweep = sim::run_size_sweep(
+      {128, 512, 2048},
+      [](std::uint64_t n) { return graph::star(static_cast<graph::NodeId>(n)); }, sync_mean);
+  EXPECT_TRUE(sync_sweep.is_bounded(0.05));  // constant at 2
+}
+
+// --- Worst-case source -----------------------------------------------------------
+
+TEST(WorstSource, FindsLollipopTailEnd) {
+  // On a lollipop the slowest sync source is deep in the tail (the rumor
+  // must cross the whole path before the clique amplifies it)... actually
+  // any source must traverse the path; the worst is at the tail tip, the
+  // best inside the clique. The search must rank them in that order.
+  const auto g = graph::lollipop(24, 24);  // tail tip = node 47
+  sim::WorstSourceOptions opts;
+  opts.max_candidates = 0;  // screen everything: n = 48 is small
+  opts.screen_trials = 8;
+  opts.final_trials = 40;
+  const auto result = sim::find_worst_source_sync(g, core::Mode::kPushPull, opts);
+  // Worst source lies in the far half of the tail.
+  EXPECT_GE(result.source, 36u) << "worst=" << result.source;
+  EXPECT_GT(result.mean_time, result.best_mean_time);
+}
+
+TEST(WorstSource, StarSourcesAreNearlyEquivalentSync) {
+  // Sync pp on the star: hub takes 1 round, leaves take 2 — the gap is
+  // tiny; the search must report a small worst/best spread.
+  const auto g = graph::star(64);
+  sim::WorstSourceOptions opts;
+  opts.max_candidates = 16;
+  const auto result = sim::find_worst_source_sync(g, core::Mode::kPushPull, opts);
+  EXPECT_LE(result.mean_time, 2.05);
+  EXPECT_GE(result.best_mean_time, 0.95);
+}
+
+TEST(WorstSource, AsyncSearchRunsAndOrdersFinalists) {
+  const auto g = graph::double_star(64);
+  sim::WorstSourceOptions opts;
+  opts.max_candidates = 12;
+  opts.final_trials = 60;
+  const auto result = sim::find_worst_source_async(g, core::Mode::kPushPull, opts);
+  EXPECT_GE(result.mean_time, result.best_mean_time);
+  EXPECT_LT(result.source, g.num_nodes());
+}
+
+TEST(WorstSource, DeterministicGivenSeed) {
+  const auto g = graph::barbell(10, 6);
+  sim::WorstSourceOptions opts;
+  opts.seed = 99;
+  const auto a = sim::find_worst_source_sync(g, core::Mode::kPushPull, opts);
+  const auto b = sim::find_worst_source_sync(g, core::Mode::kPushPull, opts);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_DOUBLE_EQ(a.mean_time, b.mean_time);
+}
