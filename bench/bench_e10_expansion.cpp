@@ -10,49 +10,59 @@
 #include <cmath>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/rumor.hpp"
+#include "sim/experiment.hpp"
 #include "sim/harness.hpp"
-#include "sim/table.hpp"
+
+namespace {
 
 using namespace rumor;
 
-int main() {
-  bench::banner("E10: conductance bound O(log n / phi) transfers to pp-a (via Theorem 1)",
-                "Both normalized columns t*phi/log(n) must be bounded by the same constant.");
-  const unsigned s = bench::scale();
-  const std::uint64_t trials = 200 * s;
+sim::Json run(const sim::ExperimentContext& ctx) {
   rng::Engine gen_eng = rng::derive_stream(10001, 0);
 
   std::vector<graph::Graph> graphs;
-  graphs.push_back(graph::complete(512));                       // phi ~ 1/2
-  graphs.push_back(graph::hypercube(9));                        // phi ~ 1/d
-  graphs.push_back(graph::random_regular(512, 6, gen_eng));     // expander
-  graphs.push_back(graph::torus(22));                           // phi ~ 1/side
-  graphs.push_back(graph::cycle(512));                          // phi = 2/n
-  graphs.push_back(graph::barbell(64, 0));                      // bottleneck
+  graphs.push_back(graph::complete(512));                    // phi ~ 1/2
+  graphs.push_back(graph::hypercube(9));                     // phi ~ 1/d
+  graphs.push_back(graph::random_regular(512, 6, gen_eng));  // expander
+  graphs.push_back(graph::torus(22));                        // phi ~ 1/side
+  graphs.push_back(graph::cycle(512));                       // phi = 2/n
+  graphs.push_back(graph::barbell(64, 0));                   // bottleneck
   graphs.push_back(graph::watts_strogatz(512, 6, 0.1, gen_eng));
 
-  sim::Table table({"graph", "n", "phi(sweep)", "hp(sync)", "hp(async)",
-                    "sync*phi/ln n", "async*phi/ln n"});
+  sim::Json rows = sim::Json::array();
   for (const auto& g : graphs) {
     const double phi = graph::conductance_sweep(g);
-    sim::TrialConfig config;
-    config.trials = trials;
-    config.seed = 10002;
-    const double q = 1.0 - 1.0 / static_cast<double>(trials);
+    const auto config = ctx.trial_config(200, 10002);
+    const double q = 1.0 - 1.0 / static_cast<double>(config.trials);
     const auto sync = sim::measure_sync(g, 0, core::Mode::kPushPull, config);
     const auto async = sim::measure_async(g, 0, core::Mode::kPushPull, config);
     const double ln_n = std::log(static_cast<double>(g.num_nodes()));
-    table.add_row({g.name(), sim::fmt_cell("%u", g.num_nodes()), sim::fmt_cell("%.4f", phi),
-                   sim::fmt_cell("%.1f", sync.quantile(q)),
-                   sim::fmt_cell("%.1f", async.quantile(q)),
-                   sim::fmt_cell("%.2f", sync.quantile(q) * phi / ln_n),
-                   sim::fmt_cell("%.2f", async.quantile(q) * phi / ln_n)});
+    sim::Json row = sim::Json::object();
+    row.set("graph", g.name());
+    row.set("n", g.num_nodes());
+    row.set("phi_sweep", phi);
+    row.set("hp_sync", sync.quantile(q));
+    row.set("hp_async", async.quantile(q));
+    row.set("sync_phi_over_ln_n", sync.quantile(q) * phi / ln_n);
+    row.set("async_phi_over_ln_n", async.quantile(q) * phi / ln_n);
+    rows.push_back(std::move(row));
   }
-  table.print();
-  std::printf(
-      "\nBoth normalized columns sit below a common constant across four orders of phi —\n"
-      "the O(log n / phi) law, now for the asynchronous protocol too (Theorem 1).\n");
-  return 0;
+
+  sim::Json body = sim::Json::object();
+  body.set("rows", std::move(rows));
+  body.set("notes",
+           "Both normalized columns sit below a common constant across four orders "
+           "of phi — the O(log n / phi) law, now for the asynchronous protocol too "
+           "(Theorem 1).");
+  return body;
 }
+
+const sim::ExperimentRegistrar kRegistrar{{
+    .name = "e10_expansion",
+    .title = "conductance bound O(log n / phi) transfers to pp-a (via Theorem 1)",
+    .claim = "Both normalized columns t*phi/log(n) must be bounded by the same constant.",
+    .run = run,
+}};
+
+}  // namespace

@@ -7,20 +7,18 @@
 // experiment checks that Theorem 1's *shape* — async within O(sync + log n)
 // — is fault-invariant, so the paper's conclusions hold on lossy networks.
 #include <cmath>
+#include <utility>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/rumor.hpp"
+#include "sim/experiment.hpp"
 #include "sim/harness.hpp"
-#include "sim/table.hpp"
+
+namespace {
 
 using namespace rumor;
 
-int main() {
-  bench::banner("E11: message-loss ablation",
-                "async slowdown must track 1/(1-p); the Theorem 1 ratio must stay flat in p.");
-  const unsigned s = bench::scale();
-  const std::uint64_t trials = 200 * s;
+sim::Json run(const sim::ExperimentContext& ctx) {
   rng::Engine gen_eng = rng::derive_stream(11001, 0);
 
   std::vector<graph::Graph> graphs;
@@ -28,14 +26,11 @@ int main() {
   graphs.push_back(graph::random_regular(512, 6, gen_eng));
   graphs.push_back(graph::star(512));
 
-  sim::Table table({"graph", "loss p", "E[sync]", "E[async]", "async slowdown", "1/(1-p)",
-                    "thm1 ratio"});
+  sim::Json rows = sim::Json::array();
   for (const auto& g : graphs) {
     double async_clean = 0.0;
     for (double loss : {0.0, 0.25, 0.5, 0.75}) {
-      sim::TrialConfig config;
-      config.trials = trials;
-      config.seed = 11002;
+      const auto config = ctx.trial_config(200, 11002);
       auto sync_samples = sim::run_trials(config, [&](std::uint64_t, rng::Engine& eng) {
         core::SyncOptions opts;
         opts.message_loss = loss;
@@ -50,17 +45,32 @@ int main() {
       const sim::SpreadingTimeSample async(std::move(async_samples));
       if (loss == 0.0) async_clean = async.mean();
       const double ln_n = std::log(static_cast<double>(g.num_nodes()));
-      table.add_row({g.name(), sim::fmt_cell("%.2f", loss), sim::fmt_cell("%.1f", sync.mean()),
-                     sim::fmt_cell("%.1f", async.mean()),
-                     sim::fmt_cell("%.2f", async.mean() / async_clean),
-                     sim::fmt_cell("%.2f", 1.0 / (1.0 - loss)),
-                     sim::fmt_cell("%.2f", async.quantile(0.99) /
-                                               (sync.quantile(0.99) + ln_n))});
+      sim::Json row = sim::Json::object();
+      row.set("graph", g.name());
+      row.set("loss_p", loss);
+      row.set("sync_mean", sync.mean());
+      row.set("async_mean", async.mean());
+      row.set("async_slowdown", async.mean() / async_clean);
+      row.set("poisson_thinning_prediction", 1.0 / (1.0 - loss));
+      row.set("thm1_ratio", async.quantile(0.99) / (sync.quantile(0.99) + ln_n));
+      rows.push_back(std::move(row));
     }
   }
-  table.print();
-  std::printf(
-      "\nasync slowdown matches the Poisson-thinning prediction 1/(1-p); the Theorem 1\n"
-      "ratio column is flat in p on every graph — the paper's bound is fault-robust.\n");
-  return 0;
+
+  sim::Json body = sim::Json::object();
+  body.set("rows", std::move(rows));
+  body.set("notes",
+           "async slowdown matches the Poisson-thinning prediction 1/(1-p); the "
+           "Theorem 1 ratio column is flat in p on every graph — the paper's bound "
+           "is fault-robust.");
+  return body;
 }
+
+const sim::ExperimentRegistrar kRegistrar{{
+    .name = "e11_faults",
+    .title = "message-loss ablation",
+    .claim = "async slowdown must track 1/(1-p); the Theorem 1 ratio must stay flat in p.",
+    .run = run,
+}};
+
+}  // namespace

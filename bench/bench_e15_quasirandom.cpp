@@ -8,21 +8,19 @@
 // that comparison over our families; expected shape: ratio ~ 1 everywhere,
 // never worse than a small constant.
 #include <cmath>
+#include <utility>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/quasirandom.hpp"
 #include "core/rumor.hpp"
+#include "sim/experiment.hpp"
 #include "sim/harness.hpp"
-#include "sim/table.hpp"
+
+namespace {
 
 using namespace rumor;
 
-int main() {
-  bench::banner("E15: quasirandom [11] vs fully random synchronous push-pull",
-                "mean ratio must sit near 1 on every family (the [11] finding).");
-  const unsigned s = bench::scale();
-  const std::uint64_t trials = 200 * s;
+sim::Json run(const sim::ExperimentContext& ctx) {
   rng::Engine gen_eng = rng::derive_stream(15001, 0);
 
   std::vector<graph::Graph> graphs;
@@ -34,24 +32,38 @@ int main() {
   graphs.push_back(graph::random_regular(512, 6, gen_eng));
   graphs.push_back(graph::preferential_attachment(512, 3, gen_eng));
 
-  sim::Table table({"graph", "n", "E[random]", "E[quasirandom]", "quasi/random"});
+  sim::Json rows = sim::Json::array();
   for (const auto& g : graphs) {
-    sim::TrialConfig config;
-    config.trials = trials;
-    config.seed = 15002;
+    const auto config = ctx.trial_config(200, 15002);
     const auto random = sim::measure_sync(g, 1, core::Mode::kPushPull, config);
     auto quasi_samples = sim::run_trials(config, [&](std::uint64_t, rng::Engine& eng) {
       const auto r = core::run_quasirandom(g, 1, eng);
       return static_cast<double>(r.rounds);
     });
     const sim::SpreadingTimeSample quasi(std::move(quasi_samples));
-    table.add_row({g.name(), sim::fmt_cell("%u", g.num_nodes()),
-                   sim::fmt_cell("%.2f", random.mean()), sim::fmt_cell("%.2f", quasi.mean()),
-                   sim::fmt_cell("%.3f", quasi.mean() / random.mean())});
+    sim::Json row = sim::Json::object();
+    row.set("graph", g.name());
+    row.set("n", g.num_nodes());
+    row.set("random_mean", random.mean());
+    row.set("quasirandom_mean", quasi.mean());
+    row.set("quasi_over_random", quasi.mean() / random.mean());
+    rows.push_back(std::move(row));
   }
-  table.print();
-  std::printf(
-      "\n[11]'s experimental finding reproduced: quasirandom tracks (and often edges out)\n"
-      "the fully random protocol with one random draw per node in total.\n");
-  return 0;
+
+  sim::Json body = sim::Json::object();
+  body.set("rows", std::move(rows));
+  body.set("notes",
+           "[11]'s experimental finding reproduced: quasirandom tracks (and often "
+           "edges out) the fully random protocol with one random draw per node in "
+           "total.");
+  return body;
 }
+
+const sim::ExperimentRegistrar kRegistrar{{
+    .name = "e15_quasirandom",
+    .title = "quasirandom [11] vs fully random synchronous push-pull",
+    .claim = "mean ratio must sit near 1 on every family (the [11] finding).",
+    .run = run,
+}};
+
+}  // namespace

@@ -10,19 +10,15 @@
 #include <functional>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/rumor.hpp"
+#include "sim/experiment.hpp"
 #include "sim/harness.hpp"
-#include "sim/table.hpp"
+
+namespace {
 
 using namespace rumor;
 
-int main() {
-  bench::banner("E2: Theorem 1 ratio  hp(pp-a) / (hp(pp) + ln n)",
-                "Bounded-by-constant across families and n is the theorem's claim.");
-  const unsigned s = bench::scale();
-  const std::uint64_t trials = 300 * s;
-
+sim::Json run(const sim::ExperimentContext& ctx) {
   struct Family {
     const char* name;
     std::function<graph::Graph(unsigned)> make;  // takes the size exponent
@@ -46,27 +42,40 @@ int main() {
        [&gen_eng](unsigned e) { return graph::preferential_attachment(1u << e, 3, gen_eng); }},
   };
 
-  sim::Table table({"family", "n", "hp(sync)", "hp(async)", "ratio"});
+  sim::Json rows = sim::Json::array();
   for (const auto& family : families) {
-    for (unsigned e = 8; e <= 10 + (s > 1 ? 2 : 0); e += 2) {
+    for (unsigned e = 8; e <= 10 + (ctx.scale() > 1 ? 2 : 0); e += 2) {
       const auto g = family.make(e);
-      sim::TrialConfig config;
-      config.trials = trials;
-      config.seed = 2002;
+      const auto config = ctx.trial_config(300, 2002);
       // Source 1 (a leaf on the star — the paper's worst case); node 1
       // exists in every family at these sizes.
       const auto sync = sim::measure_sync(g, 1, core::Mode::kPushPull, config);
       const auto async = sim::measure_async(g, 1, core::Mode::kPushPull, config);
-      const double q = 1.0 - 1.0 / static_cast<double>(trials);
+      const double q = 1.0 - 1.0 / static_cast<double>(config.trials);
       const double hp_sync = sync.quantile(q);
       const double hp_async = async.quantile(q);
       const double ratio = hp_async / (hp_sync + std::log(static_cast<double>(g.num_nodes())));
-      table.add_row({family.name, sim::fmt_cell("%u", g.num_nodes()),
-                     sim::fmt_cell("%.2f", hp_sync), sim::fmt_cell("%.2f", hp_async),
-                     sim::fmt_cell("%.3f", ratio)});
+      sim::Json row = sim::Json::object();
+      row.set("family", family.name);
+      row.set("n", g.num_nodes());
+      row.set("hp_sync", hp_sync);
+      row.set("hp_async", hp_async);
+      row.set("ratio", ratio);
+      rows.push_back(std::move(row));
     }
   }
-  table.print();
-  std::printf("\nTheorem 1 holds if the ratio column is bounded (no growth with n).\n");
-  return 0;
+
+  sim::Json body = sim::Json::object();
+  body.set("rows", std::move(rows));
+  body.set("notes", "Theorem 1 holds if the ratio column is bounded (no growth with n).");
+  return body;
 }
+
+const sim::ExperimentRegistrar kRegistrar{{
+    .name = "e2_theorem1",
+    .title = "Theorem 1 ratio hp(pp-a) / (hp(pp) + ln n)",
+    .claim = "Bounded-by-constant across families and n is the theorem's claim.",
+    .run = run,
+}};
+
+}  // namespace

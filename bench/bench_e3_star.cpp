@@ -7,43 +7,56 @@
 #include <cmath>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/rumor.hpp"
+#include "sim/experiment.hpp"
 #include "sim/harness.hpp"
-#include "sim/table.hpp"
 #include "stats/regression.hpp"
+
+namespace {
 
 using namespace rumor;
 
-int main() {
-  bench::banner("E3: star graph — sync constant vs async Theta(log n)",
-                "Sync hp-time must stay <= 2; async mean must grow like a*ln(n).");
-  const unsigned s = bench::scale();
-  const std::uint64_t trials = 400 * s;
-
-  sim::Table table({"n", "sync mean", "sync max", "async mean", "async p99", "async/ln(n)"});
+sim::Json run(const sim::ExperimentContext& ctx) {
+  sim::Json rows = sim::Json::array();
   std::vector<double> ns;
   std::vector<double> async_means;
-  for (unsigned e = 6; e <= 14 + (s > 1 ? 2 : 0); e += 2) {
+  for (unsigned e = 6; e <= 14 + (ctx.scale() > 1 ? 2 : 0); e += 2) {
     const graph::NodeId n = 1u << e;
     const auto g = graph::star(n);
-    sim::TrialConfig config;
-    config.trials = trials;
-    config.seed = 3003;
+    const auto config = ctx.trial_config(400, 3003);
     const auto sync = sim::measure_sync(g, /*source=*/1, core::Mode::kPushPull, config);
     const auto async = sim::measure_async(g, 1, core::Mode::kPushPull, config);
     ns.push_back(static_cast<double>(n));
     async_means.push_back(async.mean());
-    table.add_row({sim::fmt_cell("%u", n), sim::fmt_cell("%.2f", sync.mean()),
-                   sim::fmt_cell("%.0f", sync.max()), sim::fmt_cell("%.2f", async.mean()),
-                   sim::fmt_cell("%.2f", async.quantile(0.99)),
-                   sim::fmt_cell("%.3f", async.mean() / std::log(static_cast<double>(n)))});
+    sim::Json row = sim::Json::object();
+    row.set("n", n);
+    row.set("sync_mean", sync.mean());
+    row.set("sync_max", sync.max());
+    row.set("async_mean", async.mean());
+    row.set("async_p99", async.quantile(0.99));
+    row.set("async_over_ln_n", async.mean() / std::log(static_cast<double>(n)));
+    rows.push_back(std::move(row));
   }
-  table.print();
 
   const auto fit = stats::fit_logarithmic(ns, async_means);
-  std::printf("\nasync mean ~ %.3f * ln(n) + %.3f   (r^2 = %.4f)\n", fit.slope, fit.intercept,
-              fit.r_squared);
-  std::printf("Paper shape: sync <= 2 always; async logarithmic (r^2 ~ 1, slope ~ 1).\n");
-  return 0;
+  sim::Json stats_obj = sim::Json::object();
+  stats_obj.set("log_fit_slope", fit.slope);
+  stats_obj.set("log_fit_intercept", fit.intercept);
+  stats_obj.set("log_fit_r_squared", fit.r_squared);
+
+  sim::Json body = sim::Json::object();
+  body.set("rows", std::move(rows));
+  body.set("stats", std::move(stats_obj));
+  body.set("notes",
+           "Paper shape: sync <= 2 always; async logarithmic (r^2 ~ 1, slope ~ 1).");
+  return body;
 }
+
+const sim::ExperimentRegistrar kRegistrar{{
+    .name = "e3_star",
+    .title = "star graph — sync constant vs async Theta(log n)",
+    .claim = "Sync hp-time must stay <= 2; async mean must grow like a*ln(n).",
+    .run = run,
+}};
+
+}  // namespace

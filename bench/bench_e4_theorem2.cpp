@@ -13,28 +13,22 @@
 #include <cmath>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/rumor.hpp"
+#include "sim/experiment.hpp"
 #include "sim/harness.hpp"
-#include "sim/table.hpp"
 #include "stats/regression.hpp"
+
+namespace {
 
 using namespace rumor;
 
-int main() {
-  bench::banner("E4: Theorem 2 — E[T(pp)] / E[T(pp-a)] vs sqrt(n)",
-                "ratio/sqrt(n) must stay bounded; the fitted exponent must be < 1/2.");
-  const unsigned s = bench::scale();
-  const std::uint64_t trials = 100 * s;
-
-  sim::Table table({"graph", "n", "E[sync]", "E[async]", "ratio", "sqrt(n)", "ratio/sqrt(n)"});
+sim::Json run(const sim::ExperimentContext& ctx) {
+  sim::Json rows = sim::Json::array();
   std::vector<double> ns;
   std::vector<double> ratios;
 
   auto measure_row = [&](const graph::Graph& g, std::uint64_t seed, bool track) {
-    sim::TrialConfig config;
-    config.trials = trials;
-    config.seed = seed;
+    const auto config = ctx.trial_config(100, seed);
     const auto sync = sim::measure_sync(g, 0, core::Mode::kPushPull, config);
     const auto async = sim::measure_async(g, 0, core::Mode::kPushPull, config);
     const double ratio = sync.mean() / async.mean();
@@ -43,15 +37,20 @@ int main() {
       ns.push_back(static_cast<double>(g.num_nodes()));
       ratios.push_back(ratio);
     }
-    table.add_row({g.name(), sim::fmt_cell("%u", g.num_nodes()),
-                   sim::fmt_cell("%.1f", sync.mean()), sim::fmt_cell("%.2f", async.mean()),
-                   sim::fmt_cell("%.2f", ratio), sim::fmt_cell("%.1f", sqrt_n),
-                   sim::fmt_cell("%.3f", ratio / sqrt_n)});
+    sim::Json row = sim::Json::object();
+    row.set("graph", g.name());
+    row.set("n", g.num_nodes());
+    row.set("sync_mean", sync.mean());
+    row.set("async_mean", async.mean());
+    row.set("ratio", ratio);
+    row.set("sqrt_n", sqrt_n);
+    row.set("ratio_over_sqrt_n", ratio / sqrt_n);
+    rows.push_back(std::move(row));
   };
 
   // Bundle chains with width = len^2 / 4 (so n ~ len^3 / 4): the Acan
   // et al. regime where the ratio grows like ~ n^{1/3} / polylog.
-  const unsigned max_len = s > 1 ? 48 : 40;
+  const unsigned max_len = ctx.scale() > 1 ? 48 : 40;
   for (unsigned len = 16; len <= max_len; len += 8) {
     measure_row(graph::bundle_chain(len, len * len / 4), 4004, /*track=*/true);
   }
@@ -67,10 +66,26 @@ int main() {
   for (unsigned e : {8u, 10u, 12u}) {
     measure_row(graph::double_star(1u << e), 4006, /*track=*/false);
   }
-  table.print();
 
   const auto fit = stats::fit_power_law(ns, ratios);
-  std::printf("\nbundle-chain ratio ~ n^%.3f   (r^2 = %.4f)\n", fit.slope, fit.r_squared);
-  std::printf("Theorem 2: exponent must be <= 1/2; Acan et al.'s example reaches 1/3.\n");
-  return 0;
+  sim::Json stats_obj = sim::Json::object();
+  stats_obj.set("power_fit_exponent", fit.slope);
+  stats_obj.set("power_fit_r_squared", fit.r_squared);
+
+  sim::Json body = sim::Json::object();
+  body.set("rows", std::move(rows));
+  body.set("stats", std::move(stats_obj));
+  body.set("notes",
+           "Theorem 2: the fitted exponent must be <= 1/2; Acan et al.'s example "
+           "reaches 1/3. Chain-of-stars and double-star rows are controls.");
+  return body;
 }
+
+const sim::ExperimentRegistrar kRegistrar{{
+    .name = "e4_theorem2",
+    .title = "Theorem 2 — E[T(pp)] / E[T(pp-a)] vs sqrt(n)",
+    .claim = "ratio/sqrt(n) must stay bounded; the fitted exponent must be < 1/2.",
+    .run = run,
+}};
+
+}  // namespace

@@ -9,18 +9,16 @@
 #include <cmath>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/rumor.hpp"
-#include "sim/harness.hpp"
-#include "sim/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
 
 using namespace rumor;
 
-int main() {
-  bench::banner("E6: block coupling accounting (Lemmas 13/14)",
-                "rho/budget must be O(1); spec_rounds ~ O(sqrt(n)); subset invariant always.");
-  const unsigned s = bench::scale();
-  const int runs = static_cast<int>(20 * s);
+sim::Json run(const sim::ExperimentContext& ctx) {
+  const std::uint64_t runs = ctx.trials(20);
+  const std::uint64_t seed = ctx.seed(6002);
   rng::Engine gen_eng = rng::derive_stream(6001, 0);
 
   std::vector<graph::Graph> graphs;
@@ -32,13 +30,12 @@ int main() {
   graphs.push_back(graph::preferential_attachment(1024, 3, gen_eng));
   graphs.push_back(graph::chain_of_stars(16, 16));
 
-  sim::Table table({"graph", "n", "tau", "rho", "full", "left", "right", "spec_rounds",
-                    "budget", "rho/budget", "invariant"});
+  sim::Json rows = sim::Json::array();
   for (const auto& g : graphs) {
     double tau = 0.0, rho = 0.0, full = 0.0, left = 0.0, right = 0.0, spec = 0.0;
     bool invariant = true;
-    for (int i = 0; i < runs; ++i) {
-      auto eng = rng::derive_stream(6002, static_cast<std::uint64_t>(i));
+    for (std::uint64_t i = 0; i < runs; ++i) {
+      auto eng = rng::derive_stream(seed, i);
       const auto st = core::run_block_coupling(g, 0, eng);
       if (!st.completed) continue;
       tau += static_cast<double>(st.steps);
@@ -49,21 +46,41 @@ int main() {
       spec += static_cast<double>(st.special_rounds);
       invariant = invariant && st.subset_invariant_held;
     }
-    tau /= runs;
-    rho /= runs;
-    full /= runs;
-    left /= runs;
-    right /= runs;
-    spec /= runs;
+    const double denom = static_cast<double>(runs);
+    tau /= denom;
+    rho /= denom;
+    full /= denom;
+    left /= denom;
+    right /= denom;
+    spec /= denom;
     const double sqrt_n = std::sqrt(static_cast<double>(g.num_nodes()));
     const double budget = tau / sqrt_n + sqrt_n;
-    table.add_row({g.name(), sim::fmt_cell("%u", g.num_nodes()), sim::fmt_cell("%.0f", tau),
-                   sim::fmt_cell("%.1f", rho), sim::fmt_cell("%.1f", full),
-                   sim::fmt_cell("%.1f", left), sim::fmt_cell("%.1f", right),
-                   sim::fmt_cell("%.1f", spec), sim::fmt_cell("%.1f", budget),
-                   sim::fmt_cell("%.3f", rho / budget), invariant ? "ok" : "VIOLATED"});
+    sim::Json row = sim::Json::object();
+    row.set("graph", g.name());
+    row.set("n", g.num_nodes());
+    row.set("tau", tau);
+    row.set("rho", rho);
+    row.set("full_blocks", full);
+    row.set("left_blocks", left);
+    row.set("right_blocks", right);
+    row.set("special_rounds", spec);
+    row.set("budget", budget);
+    row.set("rho_over_budget", rho / budget);
+    row.set("subset_invariant", invariant);
+    rows.push_back(std::move(row));
   }
-  table.print();
-  std::printf("\nLemma 14: rho/budget bounded by a small constant across all rows.\n");
-  return 0;
+
+  sim::Json body = sim::Json::object();
+  body.set("rows", std::move(rows));
+  body.set("notes", "Lemma 14: rho/budget bounded by a small constant across all rows.");
+  return body;
 }
+
+const sim::ExperimentRegistrar kRegistrar{{
+    .name = "e6_blocks",
+    .title = "block coupling accounting (Lemmas 13/14)",
+    .claim = "rho/budget must be O(1); spec_rounds ~ O(sqrt(n)); subset invariant always.",
+    .run = run,
+}};
+
+}  // namespace

@@ -9,18 +9,15 @@
 #include <cmath>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/rumor.hpp"
+#include "sim/experiment.hpp"
 #include "sim/harness.hpp"
-#include "sim/table.hpp"
+
+namespace {
 
 using namespace rumor;
 
-int main() {
-  bench::banner("E7: process chain pp / ppx / ppy / pp-a (Lemmas 6, 9, 10)",
-                "Medians must order ppx <= pp; pathwise gaps must scale with log n only.");
-  const unsigned s = bench::scale();
-  const std::uint64_t trials = 300 * s;
+sim::Json run(const sim::ExperimentContext& ctx) {
   rng::Engine gen_eng = rng::derive_stream(7001, 0);
 
   std::vector<graph::Graph> graphs;
@@ -29,50 +26,73 @@ int main() {
   graphs.push_back(graph::erdos_renyi(512, 3.0 * std::log(512.0) / 512.0, gen_eng));
   graphs.push_back(graph::cycle(256));
 
-  sim::Table table({"graph", "n", "med(pp)", "med(ppx)", "med(ppy)", "med(pp-a)",
-                    "gap9/ln n", "gap10/ln n"});
+  sim::Json rows = sim::Json::array();
   for (const auto& g : graphs) {
-    sim::TrialConfig config;
-    config.trials = trials;
-    config.seed = 7002;
+    const auto config = ctx.trial_config(300, 7002);
     const auto pp = sim::measure_sync(g, 0, core::Mode::kPushPull, config);
     const auto ppx = sim::measure_aux(g, 0, core::AuxKind::kPpx, config);
     const auto ppy = sim::measure_aux(g, 0, core::AuxKind::kPpy, config);
     const auto ppa = sim::measure_async(g, 0, core::Mode::kPushPull, config);
 
     // Pathwise gaps from the coupling (p95 across runs of the max over nodes).
+    // The run count honors --trials; the seed offsets from the base so the
+    // coupled runs stay on streams distinct from the marginal measurements
+    // above even under a --seed override.
     std::vector<double> gap9;
     std::vector<double> gap10;
-    const int runs = static_cast<int>(40 * s);
-    for (int i = 0; i < runs; ++i) {
-      auto eng = rng::derive_stream(7003, static_cast<std::uint64_t>(i));
-      const auto run = core::run_pull_coupling(g, 0, eng);
-      if (!run.completed) continue;
+    const std::uint64_t runs = ctx.trials(40);
+    for (std::uint64_t i = 0; i < runs; ++i) {
+      auto eng = rng::derive_stream(ctx.seed(7002) + 1, i);
+      const auto coupled = core::run_pull_coupling(g, 0, eng);
+      if (!coupled.completed) continue;
       double worst9 = 0.0;
       double worst10 = 0.0;
       for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-        const double rx = static_cast<double>(run.round_ppx[v]);
-        const double ry = static_cast<double>(run.round_ppy[v]);
+        const double rx = static_cast<double>(coupled.round_ppx[v]);
+        const double ry = static_cast<double>(coupled.round_ppy[v]);
         worst9 = std::max(worst9, ry - 2.0 * rx);
-        worst10 = std::max(worst10, run.time_ppa[v] - 4.0 * ry);
+        worst10 = std::max(worst10, coupled.time_ppa[v] - 4.0 * ry);
       }
       gap9.push_back(worst9);
       gap10.push_back(worst10);
     }
     std::sort(gap9.begin(), gap9.end());
     std::sort(gap10.begin(), gap10.end());
-    const double p95_9 = gap9[static_cast<std::size_t>(0.95 * static_cast<double>(gap9.size()))];
-    const double p95_10 =
-        gap10[static_cast<std::size_t>(0.95 * static_cast<double>(gap10.size()))];
+    // Guard the empty case: with a tiny --trials every coupled run may hit
+    // its cap (completed == false) and contribute no gap sample.
+    auto p95 = [](const std::vector<double>& gaps) {
+      if (gaps.empty()) return 0.0;
+      return gaps[static_cast<std::size_t>(0.95 * static_cast<double>(gaps.size()))];
+    };
+    const double p95_9 = p95(gap9);
+    const double p95_10 = p95(gap10);
     const double ln_n = std::log(static_cast<double>(g.num_nodes()));
-    table.add_row({g.name(), sim::fmt_cell("%u", g.num_nodes()),
-                   sim::fmt_cell("%.1f", pp.median()), sim::fmt_cell("%.1f", ppx.median()),
-                   sim::fmt_cell("%.1f", ppy.median()), sim::fmt_cell("%.2f", ppa.median()),
-                   sim::fmt_cell("%.2f", p95_9 / ln_n), sim::fmt_cell("%.2f", p95_10 / ln_n)});
+    sim::Json row = sim::Json::object();
+    row.set("graph", g.name());
+    row.set("n", g.num_nodes());
+    row.set("median_pp", pp.median());
+    row.set("median_ppx", ppx.median());
+    row.set("median_ppy", ppy.median());
+    row.set("median_pp_a", ppa.median());
+    row.set("gap9_over_ln_n", p95_9 / ln_n);
+    row.set("gap10_over_ln_n", p95_10 / ln_n);
+    rows.push_back(std::move(row));
   }
-  table.print();
-  std::printf(
-      "\nLemma 6: med(ppx) <= med(pp). Lemmas 9/10: the gap columns are O(1) multiples\n"
-      "of ln n, uniformly over graphs — the additive-log structure of Theorem 1.\n");
-  return 0;
+
+  sim::Json body = sim::Json::object();
+  body.set("rows", std::move(rows));
+  body.set("notes",
+           "Lemma 6: med(ppx) <= med(pp). Lemmas 9/10: the gap columns are O(1) "
+           "multiples of ln n, uniformly over graphs — the additive-log structure "
+           "of Theorem 1.");
+  return body;
 }
+
+const sim::ExperimentRegistrar kRegistrar{{
+    .name = "e7_chain",
+    .title = "process chain pp / ppx / ppy / pp-a (Lemmas 6, 9, 10)",
+    .claim = "Medians must order ppx <= pp; pathwise gaps must scale with log n only.",
+    .run = run,
+}};
+
+}  // namespace

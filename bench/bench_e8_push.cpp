@@ -8,18 +8,15 @@
 #include <cmath>
 #include <vector>
 
-#include "bench_common.hpp"
 #include "core/rumor.hpp"
+#include "sim/experiment.hpp"
 #include "sim/harness.hpp"
-#include "sim/table.hpp"
+
+namespace {
 
 using namespace rumor;
 
-int main() {
-  bench::banner("E8: push-only — sync push vs async push (Sauerwald's relation)",
-                "hp(sync)/hp(async) must be Theta(1) on every family.");
-  const unsigned s = bench::scale();
-  const std::uint64_t trials = 200 * s;
+sim::Json run(const sim::ExperimentContext& ctx) {
   rng::Engine gen_eng = rng::derive_stream(8001, 0);
 
   std::vector<graph::Graph> graphs;
@@ -31,26 +28,37 @@ int main() {
   graphs.push_back(graph::star(256));
   graphs.push_back(graph::preferential_attachment(512, 3, gen_eng));
 
-  sim::Table table(
-      {"graph", "n", "hp(sync push)", "hp(async push)", "sync/async", "n*ln(n)"});
+  sim::Json rows = sim::Json::array();
   for (const auto& g : graphs) {
-    sim::TrialConfig config;
-    config.trials = trials;
-    config.seed = 8002;
-    const double q = 1.0 - 1.0 / static_cast<double>(trials);
+    const auto config = ctx.trial_config(200, 8002);
+    const double q = 1.0 - 1.0 / static_cast<double>(config.trials);
     const auto sync = sim::measure_sync(g, 0, core::Mode::kPush, config);
     const auto async = sim::measure_async(g, 0, core::Mode::kPush, config);
     const double n = static_cast<double>(g.num_nodes());
-    table.add_row({g.name(), sim::fmt_cell("%u", g.num_nodes()),
-                   sim::fmt_cell("%.1f", sync.quantile(q)),
-                   sim::fmt_cell("%.1f", async.quantile(q)),
-                   sim::fmt_cell("%.2f", sync.quantile(q) / async.quantile(q)),
-                   sim::fmt_cell("%.0f", n * std::log(n))});
+    sim::Json row = sim::Json::object();
+    row.set("graph", g.name());
+    row.set("n", g.num_nodes());
+    row.set("hp_sync_push", sync.quantile(q));
+    row.set("hp_async_push", async.quantile(q));
+    row.set("sync_over_async", sync.quantile(q) / async.quantile(q));
+    row.set("n_ln_n", n * std::log(n));
+    rows.push_back(std::move(row));
   }
-  table.print();
-  std::printf(
-      "\nSauerwald's bound: the sync/async column is Theta(1). On the star both\n"
-      "push-only times sit at the coupon-collector scale n*ln(n) — compare E3, where\n"
-      "push-pull makes the sync star constant.\n");
-  return 0;
+
+  sim::Json body = sim::Json::object();
+  body.set("rows", std::move(rows));
+  body.set("notes",
+           "Sauerwald's bound: the sync/async column is Theta(1). On the star both "
+           "push-only times sit at the coupon-collector scale n*ln(n) — compare "
+           "e3_star, where push-pull makes the sync star constant.");
+  return body;
 }
+
+const sim::ExperimentRegistrar kRegistrar{{
+    .name = "e8_push",
+    .title = "push-only — sync push vs async push (Sauerwald's relation)",
+    .claim = "hp(sync)/hp(async) must be Theta(1) on every family.",
+    .run = run,
+}};
+
+}  // namespace

@@ -1,0 +1,16 @@
+// rumor_bench: the single driver for all registered paper experiments.
+//
+//   rumor_bench --list
+//   rumor_bench e3_star --trials 2000 --json
+//   rumor_bench --all --scale 4
+//
+// Experiments self-register from the bench_e*.cpp entry files linked into
+// this binary; the CLI itself lives in sim/experiment.cpp so tests can
+// drive it in-process.
+#include <iostream>
+
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  return rumor::sim::run_bench_cli(argc, argv, std::cout, std::cerr);
+}

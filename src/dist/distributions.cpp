@@ -1,0 +1,116 @@
+#include "dist/distributions.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rumor::dist {
+
+namespace {
+
+/// log C(n, k) via lgamma; exact enough for the pmf/cdf range we use.
+double log_binomial(double n, double k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+}  // namespace
+
+double NegativeBinomial::pmf(std::uint64_t n) const noexcept {
+  if (n < k_) return 0.0;
+  const double nn = static_cast<double>(n);
+  const double kk = static_cast<double>(k_);
+  const double log_p = log_binomial(nn - 1.0, kk - 1.0) + kk * std::log(p_) +
+                       (nn - kk) * std::log1p(-p_);
+  return std::exp(log_p);
+}
+
+double NegativeBinomial::cdf(std::uint64_t n) const noexcept {
+  if (n < k_) return 0.0;
+  // Pr[NB <= n] = Pr[Bin(n, p) >= k] = 1 - sum_{i=0}^{k-1} C(n,i) p^i (1-p)^{n-i}.
+  const double nn = static_cast<double>(n);
+  double below = 0.0;
+  for (std::uint64_t i = 0; i < k_; ++i) {
+    const double ii = static_cast<double>(i);
+    below += std::exp(log_binomial(nn, ii) + ii * std::log(p_) + (nn - ii) * std::log1p(-p_));
+  }
+  return std::max(0.0, 1.0 - below);
+}
+
+double Erlang::pdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  const double kk = static_cast<double>(k_);
+  return std::exp(kk * std::log(rate_) + (kk - 1.0) * std::log(x) - rate_ * x -
+                  std::lgamma(kk));
+}
+
+double Erlang::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  // For integer shape, 1 - cdf = sum_{i=0}^{k-1} e^{-rx} (rx)^i / i!. Each
+  // term is computed in log space so that k = 500 neither overflows nor
+  // underflows prematurely.
+  const double rx = rate_ * x;
+  const double log_rx = std::log(rx);
+  double tail = 0.0;
+  for (std::uint64_t i = 0; i < k_; ++i) {
+    const double ii = static_cast<double>(i);
+    tail += std::exp(-rx + ii * log_rx - std::lgamma(ii + 1.0));
+  }
+  return std::clamp(1.0 - tail, 0.0, 1.0);
+}
+
+Ecdf::Ecdf(std::vector<double> xs) : sorted_(std::move(xs)) {
+  assert(!sorted_.empty() && "Ecdf of an empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double ks_statistic(const Ecdf& a, const Ecdf& b) {
+  // Sweep the merged sample points; the sup of |F_a - F_b| is attained just
+  // after one of them.
+  const auto& xa = a.sorted();
+  const auto& xb = b.sorted();
+  const double na = static_cast<double>(xa.size());
+  const double nb = static_cast<double>(xb.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double sup = 0.0;
+  while (i < xa.size() || j < xb.size()) {
+    const double x = (j >= xb.size() || (i < xa.size() && xa[i] <= xb[j])) ? xa[i] : xb[j];
+    while (i < xa.size() && xa[i] <= x) ++i;
+    while (j < xb.size() && xb[j] <= x) ++j;
+    sup = std::max(sup, std::abs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+  }
+  return sup;
+}
+
+DominationCheck check_domination(const std::vector<double>& x_samples,
+                                 const std::vector<double>& y_samples) {
+  // X preceq Y iff F_X(t) >= F_Y(t) for all t; report the worst positive
+  // excess of F_Y over F_X across the merged sample points.
+  const Ecdf fx(x_samples);
+  const Ecdf fy(y_samples);
+  const auto& xs = fx.sorted();
+  const auto& ys = fy.sorted();
+  const double nx = static_cast<double>(xs.size());
+  const double ny = static_cast<double>(ys.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  DominationCheck check;
+  while (i < xs.size() || j < ys.size()) {
+    const double t = (j >= ys.size() || (i < xs.size() && xs[i] <= ys[j])) ? xs[i] : ys[j];
+    while (i < xs.size() && xs[i] <= t) ++i;
+    while (j < ys.size() && ys[j] <= t) ++j;
+    const double violation = static_cast<double>(j) / ny - static_cast<double>(i) / nx;
+    if (violation > check.max_violation) {
+      check.max_violation = violation;
+      check.at = t;
+    }
+  }
+  return check;
+}
+
+}  // namespace rumor::dist

@@ -1,0 +1,188 @@
+// rumor/dist: analytic distributions, empirical CDFs, and stochastic-order
+// checks.
+//
+// The paper's proofs manipulate a small set of laws — exponentials (Poisson
+// clocks), geometrics (per-round success counts), negative binomials and
+// Erlangs (sums of the former two) — and repeatedly compare processes in the
+// usual stochastic order X preceq Y. This module provides those laws with
+// exact pdf/pmf/cdf/quantile/moment formulas plus samplers driven by
+// rng::Engine, an empirical CDF type, two-sample and analytic
+// Kolmogorov-Smirnov statistics, and an empirical domination check used to
+// validate the coupling lemmas (Lemmas 8, 10, 15).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace rumor::dist {
+
+/// Exponential(rate): pdf rate * e^{-rate x} on x >= 0.
+class Exponential {
+ public:
+  explicit Exponential(double rate) : rate_(rate) {}
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] double mean() const noexcept { return 1.0 / rate_; }
+  [[nodiscard]] double variance() const noexcept { return 1.0 / (rate_ * rate_); }
+
+  [[nodiscard]] double pdf(double x) const noexcept {
+    return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+  }
+  [[nodiscard]] double cdf(double x) const noexcept {
+    return x <= 0.0 ? 0.0 : -std::expm1(-rate_ * x);
+  }
+  /// Inverse CDF; quantile(q) = -ln(1-q)/rate for q in [0, 1).
+  [[nodiscard]] double quantile(double q) const noexcept {
+    return -std::log1p(-q) / rate_;
+  }
+
+  template <class Eng>
+  [[nodiscard]] double sample(Eng& eng) const noexcept {
+    return rng::exponential(eng, rate_);
+  }
+
+ private:
+  double rate_;
+};
+
+/// Geometric(p) on {1, 2, ...}: the number of Bernoulli(p) trials up to and
+/// including the first success. pmf(k) = p (1-p)^{k-1}.
+class Geometric {
+ public:
+  explicit Geometric(double p) : p_(p) {}
+
+  [[nodiscard]] double success_probability() const noexcept { return p_; }
+  [[nodiscard]] double mean() const noexcept { return 1.0 / p_; }
+  [[nodiscard]] double variance() const noexcept { return (1.0 - p_) / (p_ * p_); }
+
+  [[nodiscard]] double pmf(std::uint64_t k) const noexcept {
+    if (k < 1) return 0.0;
+    return p_ * std::pow(1.0 - p_, static_cast<double>(k - 1));
+  }
+  /// Pr[X <= k] = 1 - (1-p)^k.
+  [[nodiscard]] double cdf(std::uint64_t k) const noexcept {
+    if (k < 1) return 0.0;
+    return -std::expm1(static_cast<double>(k) * std::log1p(-p_));
+  }
+
+  template <class Eng>
+  [[nodiscard]] std::uint64_t sample(Eng& eng) const noexcept {
+    return rng::geometric(eng, p_);
+  }
+
+ private:
+  double p_;
+};
+
+/// NegativeBinomial(k, p) on {k, k+1, ...}: the number of Bernoulli(p)
+/// trials up to and including the k-th success — the sum of k independent
+/// Geometric(p) variables. pmf(n) = C(n-1, k-1) p^k (1-p)^{n-k}.
+class NegativeBinomial {
+ public:
+  NegativeBinomial(std::uint64_t k, double p) : k_(k), p_(p) {}
+
+  [[nodiscard]] std::uint64_t successes() const noexcept { return k_; }
+  [[nodiscard]] double success_probability() const noexcept { return p_; }
+  [[nodiscard]] double mean() const noexcept { return static_cast<double>(k_) / p_; }
+  [[nodiscard]] double variance() const noexcept {
+    return static_cast<double>(k_) * (1.0 - p_) / (p_ * p_);
+  }
+
+  [[nodiscard]] double pmf(std::uint64_t n) const noexcept;
+  /// Pr[X <= n] = Pr[Bin(n, p) >= k] (>= k successes within n trials).
+  [[nodiscard]] double cdf(std::uint64_t n) const noexcept;
+
+  template <class Eng>
+  [[nodiscard]] std::uint64_t sample(Eng& eng) const noexcept {
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < k_; ++i) total += rng::geometric(eng, p_);
+    return total;
+  }
+
+ private:
+  std::uint64_t k_;
+  double p_;
+};
+
+/// Erlang(k, rate): the sum of k independent Exponential(rate) variables.
+class Erlang {
+ public:
+  Erlang(std::uint64_t k, double rate) : k_(k), rate_(rate) {}
+
+  [[nodiscard]] std::uint64_t shape() const noexcept { return k_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] double mean() const noexcept { return static_cast<double>(k_) / rate_; }
+  [[nodiscard]] double variance() const noexcept {
+    return static_cast<double>(k_) / (rate_ * rate_);
+  }
+
+  [[nodiscard]] double pdf(double x) const noexcept;
+  /// Regularized lower incomplete gamma P(k, rate*x); stable for k >= 500.
+  [[nodiscard]] double cdf(double x) const noexcept;
+
+  template <class Eng>
+  [[nodiscard]] double sample(Eng& eng) const noexcept {
+    double total = 0.0;
+    for (std::uint64_t i = 0; i < k_; ++i) total += rng::exponential(eng, rate_);
+    return total;
+  }
+
+ private:
+  std::uint64_t k_;
+  double rate_;
+};
+
+/// Empirical CDF of a sample: F_n(x) = #{i : x_i <= x} / n.
+class Ecdf {
+ public:
+  /// Copies and sorts the sample. Precondition: xs not empty.
+  explicit Ecdf(std::vector<double> xs);
+
+  /// F_n(x), a right-continuous step function.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Two-sample Kolmogorov-Smirnov statistic sup_x |F_a(x) - F_b(x)|.
+[[nodiscard]] double ks_statistic(const Ecdf& a, const Ecdf& b);
+
+/// One-sample KS statistic sup_x |F_n(x) - F(x)| against an analytic law
+/// with a `cdf(double)` member. The supremum over each step's left and
+/// right limits is taken, as the textbook statistic requires.
+template <class Dist>
+[[nodiscard]] double ks_statistic_analytic(const Ecdf& ecdf, const Dist& d) {
+  const auto& xs = ecdf.sorted();
+  const double n = static_cast<double>(xs.size());
+  double sup = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double f = d.cdf(xs[i]);
+    const double lo = static_cast<double>(i) / n;        // F_n just below x_i
+    const double hi = static_cast<double>(i + 1) / n;    // F_n at x_i
+    sup = std::max(sup, std::max(std::abs(hi - f), std::abs(f - lo)));
+  }
+  return sup;
+}
+
+/// Result of an empirical stochastic-domination check of X preceq Y.
+struct DominationCheck {
+  /// sup_t max(0, F_Y(t) - F_X(t)): how much Y's CDF exceeds X's anywhere.
+  /// X preceq Y requires F_X >= F_Y pointwise, so for true domination this
+  /// is 0 up to sampling noise (~sqrt(1/n)).
+  double max_violation = 0.0;
+  /// The argument t where the worst violation occurs.
+  double at = 0.0;
+};
+
+/// Empirically checks X preceq Y (X stochastically smaller) from samples.
+[[nodiscard]] DominationCheck check_domination(const std::vector<double>& x_samples,
+                                               const std::vector<double>& y_samples);
+
+}  // namespace rumor::dist

@@ -1,0 +1,636 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <string>
+
+#include "sim/table.hpp"
+
+namespace rumor::sim {
+
+// --- Json -------------------------------------------------------------------
+
+void Json::push_back(Json v) {
+  assert(type_ == Type::kArray);
+  elements_.push_back(std::move(v));
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  assert(type_ == Type::kObject);
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  entries_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Numbers print as integers when they are integers (the common case:
+/// node counts, trial counts, rounds), otherwise with the shortest
+/// precision that round-trips through strtod — dump/parse cycles of
+/// BENCH_*.json reports must reproduce values exactly.
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[40];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ') : "";
+  const std::string close_pad = pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* kv_sep = pretty ? ": " : ":";
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: out += format_number(number_); break;
+    case Type::kString: append_escaped(out, string_); break;
+    case Type::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        out += pad;
+        elements_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < elements_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (entries_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        out += pad;
+        append_escaped(out, entries_[i].first);
+        out += kv_sep;
+        entries_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < entries_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view cursor. Nesting depth
+/// is bounded so a truncated or hostile document ("[[[[...") yields the
+/// documented nullopt instead of overflowing the stack.
+class JsonParser {
+ public:
+  static constexpr int kMaxDepth = 256;
+
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> parse_document() {
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string_body() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Reports only use ASCII; encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_value() {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    if (depth_ >= kMaxDepth) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string_body();
+      if (!s) return std::nullopt;
+      return Json(std::move(*s));
+    }
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json();
+    return parse_number();
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return Json(v);
+  }
+
+  std::optional<Json> parse_array() {  // NOLINT(misc-no-recursion)
+    if (!consume('[')) return std::nullopt;
+    ++depth_;
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return arr;
+    }
+    for (;;) {
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      if (consume(',')) continue;
+      if (consume(']')) {
+        --depth_;
+        return arr;
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_object() {  // NOLINT(misc-no-recursion)
+    if (!consume('{')) return std::nullopt;
+    ++depth_;
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      auto key = parse_string_body();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      obj.set(*key, std::move(*v));
+      if (consume(',')) continue;
+      if (consume('}')) {
+        --depth_;
+        return obj;
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+// --- Registry ---------------------------------------------------------------
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(ExperimentInfo info) {
+  if (find(info.name) != nullptr) {
+    std::fprintf(stderr, "duplicate experiment registration: %s\n", info.name.c_str());
+    std::abort();
+  }
+  experiments_.push_back(std::move(info));
+}
+
+const ExperimentInfo* ExperimentRegistry::find(std::string_view name) const noexcept {
+  for (const auto& e : experiments_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Natural order: digit runs compare numerically, so e2 < e10.
+bool natural_less(const std::string& a, const std::string& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const bool da = std::isdigit(static_cast<unsigned char>(a[i])) != 0;
+    const bool db = std::isdigit(static_cast<unsigned char>(b[j])) != 0;
+    if (da && db) {
+      std::size_t ia = i;
+      std::size_t jb = j;
+      while (ia < a.size() && std::isdigit(static_cast<unsigned char>(a[ia]))) ++ia;
+      while (jb < b.size() && std::isdigit(static_cast<unsigned char>(b[jb]))) ++jb;
+      const auto na = std::stoull(a.substr(i, ia - i));
+      const auto nb = std::stoull(b.substr(j, jb - j));
+      if (na != nb) return na < nb;
+      i = ia;
+      j = jb;
+    } else {
+      if (a[i] != b[j]) return a[i] < b[j];
+      ++i;
+      ++j;
+    }
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+std::vector<const ExperimentInfo*> ExperimentRegistry::all() const {
+  std::vector<const ExperimentInfo*> out;
+  out.reserve(experiments_.size());
+  for (const auto& e : experiments_) out.push_back(&e);
+  std::sort(out.begin(), out.end(), [](const ExperimentInfo* a, const ExperimentInfo* b) {
+    return natural_less(a->name, b->name);
+  });
+  return out;
+}
+
+// --- Running and rendering ---------------------------------------------------
+
+Json run_experiment(const ExperimentInfo& info, const ExperimentOptions& opts) {
+  ExperimentContext ctx(opts);
+  Json body = info.run(ctx);
+  Json report = Json::object();
+  report.set("experiment", info.name);
+  report.set("title", info.title);
+  report.set("claim", info.claim);
+  Json params = Json::object();
+  params.set("trials", opts.trials);  // 0 = per-experiment defaults in effect
+  params.set("seed", opts.seed);
+  params.set("threads", opts.threads);
+  params.set("scale", opts.scale);
+  report.set("params", params);
+  for (auto& [key, value] : body.mutable_entries()) report.set(key, std::move(value));
+  return report;
+}
+
+namespace {
+
+std::string cell_text(const Json& v) {
+  switch (v.type()) {
+    case Json::Type::kString: return v.as_string();
+    case Json::Type::kNumber: {
+      const double d = v.as_number();
+      char buf[40];
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", d);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.4g", d);
+      }
+      return buf;
+    }
+    case Json::Type::kBool: return v.as_bool() ? "true" : "false";
+    default: return "-";
+  }
+}
+
+/// Renders a report's "rows" array as the aligned table the stand-alone
+/// benches used to print, plus "stats" and "notes" afterwards.
+void print_human(const Json& report, std::ostream& out) {
+  const Json* title = report.find("title");
+  const Json* claim = report.find("claim");
+  const Json* name = report.find("experiment");
+  out << "== " << (name ? name->as_string() : "?") << ": "
+      << (title ? title->as_string() : "") << " ==\n";
+  if (claim) out << claim->as_string() << "\n";
+  out << "\n";
+
+  const Json* rows = report.find("rows");
+  if (rows != nullptr && rows->is_array() && !rows->elements().empty()) {
+    std::vector<std::string> headers;
+    for (const auto& [key, value] : rows->elements().front().entries()) headers.push_back(key);
+    Table table(headers);
+    for (const auto& row : rows->elements()) {
+      std::vector<std::string> cells;
+      cells.reserve(headers.size());
+      for (const auto& h : headers) {
+        const Json* v = row.find(h);
+        cells.push_back(v != nullptr ? cell_text(*v) : "-");
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(out);
+  }
+
+  const Json* stats = report.find("stats");
+  if (stats != nullptr && stats->is_object() && stats->size() > 0) {
+    out << "\n";
+    for (const auto& [key, value] : stats->entries()) {
+      out << "  " << key << " = " << cell_text(value) << "\n";
+    }
+  }
+  const Json* notes = report.find("notes");
+  if (notes != nullptr && notes->is_string()) out << "\n" << notes->as_string() << "\n";
+  out << "\n";
+}
+
+unsigned env_scale() {
+  const char* env = std::getenv("RUMOR_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  return static_cast<unsigned>(std::clamp(v, 1L, 64L));
+}
+
+void print_usage(std::ostream& out) {
+  out << "usage: rumor_bench [options] (--all | <experiment>...)\n"
+         "       rumor_bench --list [--json]\n"
+         "\n"
+         "options:\n"
+         "  --list         list registered experiments and exit\n"
+         "  --all          run every registered experiment\n"
+         "  --json         emit machine-readable JSON instead of tables\n"
+         "  --trials N     override the trial count of every measurement\n"
+         "  --seed S       override the root seed (trial i uses stream i)\n"
+         "  --threads T    worker threads (0 = hardware concurrency)\n"
+         "  --scale K      workload multiplier in [1, 64] (default: $RUMOR_BENCH_SCALE or 1)\n"
+         "  --help         this text\n";
+}
+
+}  // namespace
+
+int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  ExperimentOptions opts;
+  opts.scale = env_scale();
+  bool list = false;
+  bool all = false;
+  bool json = false;
+  std::vector<std::string> names;
+
+  auto numeric_arg = [&](int& i, const char* flag) -> std::optional<std::uint64_t> {
+    if (i + 1 >= argc) {
+      err << "rumor_bench: " << flag << " requires a value\n";
+      return std::nullopt;
+    }
+    ++i;
+    // strtoull silently wraps negative input ("-5" -> ~1.8e19), so reject
+    // any sign character up front.
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(argv[i], &end, 10);
+    if (argv[i][0] == '-' || argv[i][0] == '+' || end == argv[i] || *end != '\0') {
+      err << "rumor_bench: bad value for " << flag << ": " << argv[i] << "\n";
+      return std::nullopt;
+    }
+    // Values travel through Json's IEEE-double numbers (exact only up to
+    // 2^53), so cap CLI inputs where the report could no longer reproduce
+    // them exactly.
+    if (v > (std::uint64_t{1} << 53)) {
+      err << "rumor_bench: " << flag << " must be <= 2^53 (values are recorded as JSON numbers)\n";
+      return std::nullopt;
+    }
+    return v;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(out);
+      return 0;
+    } else if (arg == "--trials") {
+      const auto v = numeric_arg(i, "--trials");
+      if (!v) return 2;
+      if (*v == 0) {  // 0 is the internal "use defaults" sentinel
+        err << "rumor_bench: --trials must be >= 1 (omit the flag for per-experiment defaults)\n";
+        return 2;
+      }
+      opts.trials = *v;
+    } else if (arg == "--seed") {
+      const auto v = numeric_arg(i, "--seed");
+      if (!v) return 2;
+      if (*v == 0) {  // 0 is the internal "use defaults" sentinel
+        err << "rumor_bench: --seed must be >= 1 (omit the flag for per-experiment defaults)\n";
+        return 2;
+      }
+      opts.seed = *v;
+    } else if (arg == "--threads") {
+      const auto v = numeric_arg(i, "--threads");
+      if (!v) return 2;
+      opts.threads = static_cast<unsigned>(*v);
+    } else if (arg == "--scale") {
+      const auto v = numeric_arg(i, "--scale");
+      if (!v) return 2;
+      opts.scale = static_cast<unsigned>(std::clamp<std::uint64_t>(*v, 1, 64));
+    } else if (!arg.empty() && arg.front() == '-') {
+      err << "rumor_bench: unknown option " << arg << "\n";
+      print_usage(err);
+      return 2;
+    } else {
+      names.emplace_back(arg);
+    }
+  }
+
+  const auto& registry = ExperimentRegistry::instance();
+
+  if (list) {
+    if (json) {
+      Json arr = Json::array();
+      for (const ExperimentInfo* e : registry.all()) {
+        Json entry = Json::object();
+        entry.set("experiment", e->name);
+        entry.set("title", e->title);
+        entry.set("claim", e->claim);
+        arr.push_back(std::move(entry));
+      }
+      out << arr.dump(2) << "\n";
+    } else {
+      for (const ExperimentInfo* e : registry.all()) {
+        out << e->name << "\n    " << e->title << "\n";
+      }
+    }
+    return 0;
+  }
+
+  std::vector<const ExperimentInfo*> selected;
+  if (all) {
+    selected = registry.all();
+  } else {
+    if (names.empty()) {
+      err << "rumor_bench: no experiments selected\n";
+      print_usage(err);
+      return 2;
+    }
+    for (const auto& name : names) {
+      const ExperimentInfo* e = registry.find(name);
+      if (e == nullptr) {
+        err << "rumor_bench: unknown experiment '" << name << "' (see --list)\n";
+        return 2;
+      }
+      selected.push_back(e);
+    }
+  }
+
+  Json reports = Json::array();
+  for (const ExperimentInfo* e : selected) {
+    Json report = run_experiment(*e, opts);
+    if (json) {
+      reports.push_back(std::move(report));
+    } else {
+      print_human(report, out);
+    }
+  }
+  if (json) {
+    // A single selected experiment emits its object directly (the common
+    // scripted case); multiple selections emit the array.
+    if (reports.size() == 1) {
+      out << reports.elements().front().dump(2) << "\n";
+    } else {
+      out << reports.dump(2) << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace rumor::sim

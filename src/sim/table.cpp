@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iostream>
 
 namespace rumor::sim {
 
@@ -10,7 +11,9 @@ void Table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
-void Table::print() const {
+void Table::print() const { print(std::cout); }
+
+void Table::print(std::ostream& out) const {
   std::vector<std::size_t> width(headers_.size(), 0);
   for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
   for (const auto& row : rows_) {
@@ -18,14 +21,16 @@ void Table::print() const {
   }
   auto print_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::printf("%s%-*s", c == 0 ? "" : "  ", static_cast<int>(width[c]), row[c].c_str());
+      if (c != 0) out << "  ";
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) out << ' ';
     }
-    std::printf("\n");
+    out << '\n';
   };
   print_row(headers_);
   std::size_t total = 0;
   for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c == 0 ? 0 : 2);
-  std::printf("%s\n", std::string(total, '-').c_str());
+  out << std::string(total, '-') << '\n';
   for (const auto& row : rows_) print_row(row);
 }
 

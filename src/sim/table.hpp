@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <initializer_list>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,9 @@ class Table {
 
   /// Renders to stdout with a header underline, columns padded to content.
   void print() const;
+
+  /// Renders to an arbitrary stream (same format as print()).
+  void print(std::ostream& out) const;
 
   /// Writes headers + rows as CSV.
   void write_csv(const std::string& path) const;

@@ -1,0 +1,171 @@
+// Smoke tests for the rumor_bench experiment registry: the driver binary
+// must list all fifteen paper experiments, run one by name with CLI
+// overrides, and emit JSON that parses and carries the documented keys.
+// Also unit-tests the sim::Json document type the reports are built from.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hpp"
+
+namespace sim = rumor::sim;
+
+namespace {
+
+#ifndef RUMOR_BENCH_BINARY
+#error "RUMOR_BENCH_BINARY must point at the rumor_bench executable"
+#endif
+
+/// Runs a rumor_bench command line and captures its stdout.
+std::string run_bench(const std::string& args, int* exit_code = nullptr) {
+  const std::string cmd = std::string(RUMOR_BENCH_BINARY) + " " + args;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to launch " << cmd;
+  if (pipe == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof buf, pipe)) > 0) out.append(buf, got);
+  const int status = pclose(pipe);
+  if (exit_code != nullptr) *exit_code = status;
+  return out;
+}
+
+}  // namespace
+
+// --- Json unit tests ---------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  sim::Json obj = sim::Json::object();
+  obj.set("name", "e3_star");
+  obj.set("count", 42);
+  obj.set("ratio", 1.5);
+  obj.set("ok", true);
+  sim::Json arr = sim::Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(sim::Json());
+  obj.set("items", std::move(arr));
+
+  for (int indent : {-1, 2}) {
+    const auto parsed = sim::Json::parse(obj.dump(indent));
+    ASSERT_TRUE(parsed.has_value()) << "indent=" << indent;
+    EXPECT_EQ(parsed->find("name")->as_string(), "e3_star");
+    EXPECT_EQ(parsed->find("count")->as_number(), 42.0);
+    EXPECT_EQ(parsed->find("ratio")->as_number(), 1.5);
+    EXPECT_TRUE(parsed->find("ok")->as_bool());
+    ASSERT_EQ(parsed->find("items")->size(), 3u);
+    EXPECT_TRUE(parsed->find("items")->elements()[2].is_null());
+  }
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  sim::Json obj = sim::Json::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("zebra", 3);  // overwrite keeps the original slot
+  ASSERT_EQ(obj.entries().size(), 2u);
+  EXPECT_EQ(obj.entries()[0].first, "zebra");
+  EXPECT_EQ(obj.entries()[0].second.as_number(), 3.0);
+  EXPECT_EQ(obj.entries()[1].first, "alpha");
+}
+
+TEST(Json, EscapesStrings) {
+  sim::Json s = std::string("a\"b\\c\nd");
+  const auto parsed = sim::Json::parse(s.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "a\"b\\c\nd");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(sim::Json::parse("{").has_value());
+  EXPECT_FALSE(sim::Json::parse("[1,]").has_value());
+  EXPECT_FALSE(sim::Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(sim::Json::parse("42 garbage").has_value());
+  EXPECT_FALSE(sim::Json::parse("").has_value());
+}
+
+TEST(Json, RejectsPathologicallyDeepNesting) {
+  // A truncated/hostile "[[[[..." must return nullopt, not blow the stack.
+  const std::string deep(100000, '[');
+  EXPECT_FALSE(sim::Json::parse(deep).has_value());
+  // Reasonable nesting still parses.
+  std::string ok;
+  for (int i = 0; i < 50; ++i) ok += '[';
+  ok += '1';
+  for (int i = 0; i < 50; ++i) ok += ']';
+  EXPECT_TRUE(sim::Json::parse(ok).has_value());
+}
+
+// --- Registry smoke tests via the real binary --------------------------------
+
+TEST(BenchCli, ListNamesAllFifteenExperiments) {
+  int status = 0;
+  const std::string out = run_bench("--list", &status);
+  EXPECT_EQ(status, 0);
+  for (const char* name :
+       {"e1_overview", "e2_theorem1", "e3_star", "e4_theorem2", "e5_regular", "e6_blocks",
+        "e7_chain", "e8_push", "e9_micro", "e10_expansion", "e11_faults", "e12_discretization",
+        "e13_sources", "e14_averaging", "e15_quasirandom"}) {
+    EXPECT_NE(out.find(name), std::string::npos) << "missing " << name << " in:\n" << out;
+  }
+}
+
+TEST(BenchCli, ListJsonParsesWithTitles) {
+  const std::string out = run_bench("--list --json");
+  const auto parsed = sim::Json::parse(out);
+  ASSERT_TRUE(parsed.has_value()) << out;
+  ASSERT_TRUE(parsed->is_array());
+  ASSERT_EQ(parsed->size(), 15u);
+  for (const auto& entry : parsed->elements()) {
+    ASSERT_NE(entry.find("experiment"), nullptr);
+    ASSERT_NE(entry.find("title"), nullptr);
+    ASSERT_NE(entry.find("claim"), nullptr);
+  }
+}
+
+TEST(BenchCli, TinyExperimentEmitsExpectedJson) {
+  int status = 0;
+  const std::string out = run_bench("e3_star --trials 8 --seed 7 --json", &status);
+  EXPECT_EQ(status, 0);
+  const auto parsed = sim::Json::parse(out);
+  ASSERT_TRUE(parsed.has_value()) << "unparseable JSON:\n" << out;
+  ASSERT_TRUE(parsed->is_object());
+
+  const sim::Json* name = parsed->find("experiment");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->as_string(), "e3_star");
+
+  const sim::Json* params = parsed->find("params");
+  ASSERT_NE(params, nullptr);
+  ASSERT_NE(params->find("trials"), nullptr);
+  EXPECT_EQ(params->find("trials")->as_number(), 8.0);
+  ASSERT_NE(params->find("seed"), nullptr);
+  EXPECT_EQ(params->find("seed")->as_number(), 7.0);
+
+  const sim::Json* rows = parsed->find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_TRUE(rows->is_array());
+  ASSERT_GT(rows->size(), 0u);
+  for (const auto& row : rows->elements()) {
+    // Per-statistic values: every row carries the measured columns.
+    for (const char* key : {"n", "sync_mean", "sync_max", "async_mean", "async_p99"}) {
+      const sim::Json* v = row.find(key);
+      ASSERT_NE(v, nullptr) << "row missing " << key;
+      EXPECT_TRUE(v->is_number());
+    }
+    // The paper's star-graph law, visible even at 8 trials: sync <= 2.
+    EXPECT_LE(row.find("sync_max")->as_number(), 2.0);
+  }
+
+  const sim::Json* stats = parsed->find("stats");
+  ASSERT_NE(stats, nullptr);
+  ASSERT_NE(stats->find("log_fit_slope"), nullptr);
+}
+
+TEST(BenchCli, UnknownExperimentFails) {
+  int status = 0;
+  run_bench("no_such_experiment --json 2>/dev/null", &status);
+  EXPECT_NE(status, 0);
+}

@@ -1,0 +1,136 @@
+// Tests for graph::GraphBuilder — the mutable edge accumulator every
+// generator builds through. The builder's contract: self-loops are ignored,
+// parallel edges are deduplicated at build(), and the pre-freeze
+// has_edge_slow answers agree with the frozen CSR's has_edge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "rng/rng.hpp"
+
+namespace graph = rumor::graph;
+namespace rng = rumor::rng;
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // same undirected edge, reversed
+  b.add_edge(0, 1);  // exact duplicate
+  b.add_edge(2, 3);
+  EXPECT_EQ(b.num_edges_added(), 4u);  // raw additions are all recorded
+  const auto g = std::move(b).build("dedup");
+  EXPECT_EQ(g.num_edges(), 2u);  // {0,1} once, {2,3} once
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GraphBuilder, IgnoresSelfLoops) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 0);
+  b.add_edge(1, 1);
+  b.add_edge(0, 1);
+  const auto g = std::move(b).build("loops");
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(GraphBuilder, SelfLoopsOnlyYieldEmptyGraph) {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(1, 1);
+  const auto g = std::move(b).build("only-loops");
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilder, NeighborsAreSortedAfterBuild) {
+  graph::GraphBuilder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(2, 1);
+  const auto g = std::move(b).build("sorted");
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(GraphBuilder, HasEdgeSlowSeesAddedEdges) {
+  graph::GraphBuilder b(4);
+  EXPECT_FALSE(b.has_edge_slow(0, 1));
+  b.add_edge(0, 1);
+  EXPECT_TRUE(b.has_edge_slow(0, 1));
+  EXPECT_TRUE(b.has_edge_slow(1, 0));  // orientation-insensitive
+  EXPECT_FALSE(b.has_edge_slow(1, 2));
+  b.add_edge(2, 1);
+  EXPECT_TRUE(b.has_edge_slow(1, 2));
+}
+
+TEST(GraphBuilder, HasEdgeSlowAgreesWithFrozenCsrOnRandomGraphs) {
+  auto eng = rng::derive_stream(4242, 0);
+  for (int round = 0; round < 20; ++round) {
+    const graph::NodeId n = 30;
+    graph::GraphBuilder b(n);
+    // Random multigraph additions, self-loops included on purpose: the
+    // builder must filter them exactly the way the frozen graph reports.
+    std::set<std::pair<graph::NodeId, graph::NodeId>> expected;
+    for (int i = 0; i < 120; ++i) {
+      const auto a = static_cast<graph::NodeId>(rng::uniform_below(eng, n));
+      const auto c = static_cast<graph::NodeId>(rng::uniform_below(eng, n));
+      b.add_edge(a, c);
+      if (a != c) expected.insert({std::min(a, c), std::max(a, c)});
+    }
+    // Pre-freeze answers match the set of distinct non-loop edges...
+    for (graph::NodeId u = 0; u < n; ++u) {
+      for (graph::NodeId v = 0; v < n; ++v) {
+        const bool want = u != v && expected.count({std::min(u, v), std::max(u, v)}) > 0;
+        EXPECT_EQ(b.has_edge_slow(u, v), want) << "pre-freeze {" << u << "," << v << "}";
+      }
+    }
+    // ...and the frozen CSR agrees on every pair.
+    const auto g = std::move(b).build("random");
+    EXPECT_EQ(g.num_edges(), expected.size());
+    for (graph::NodeId u = 0; u < n; ++u) {
+      for (graph::NodeId v = 0; v < n; ++v) {
+        const bool want = u != v && expected.count({std::min(u, v), std::max(u, v)}) > 0;
+        EXPECT_EQ(g.has_edge(u, v), want) << "frozen {" << u << "," << v << "}";
+      }
+    }
+  }
+}
+
+TEST(GraphBuilder, GeneratorsProduceSimpleGraphs) {
+  // End-to-end: random generators route everything through the builder, so
+  // their outputs must be simple (no loops — CSR can't represent them once
+  // deduped — and strictly sorted unique neighbor lists).
+  auto eng = rng::derive_stream(4243, 0);
+  const graph::Graph graphs[] = {
+      graph::erdos_renyi(200, 0.05, eng),
+      graph::random_regular(200, 4, eng),
+      graph::preferential_attachment(200, 3, eng),
+  };
+  for (const auto& g : graphs) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto nb = g.neighbors(v);
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        EXPECT_NE(nb[i], v) << g.name() << ": self-loop at " << v;
+        if (i > 0) {
+          EXPECT_LT(nb[i - 1], nb[i]) << g.name() << ": dup/unsorted at " << v;
+        }
+      }
+    }
+  }
+}

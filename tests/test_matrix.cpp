@@ -106,11 +106,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, kNumFamilies),
                        ::testing::Values(core::Mode::kPush, core::Mode::kPull,
                                          core::Mode::kPushPull)),
-    [](const auto& info) {
+    [](const auto& param_info) {
       std::string name = "f";
-      name += std::to_string(std::get<0>(info.param));
+      name += std::to_string(std::get<0>(param_info.param));
       name += '_';
-      switch (std::get<1>(info.param)) {
+      switch (std::get<1>(param_info.param)) {
         case core::Mode::kPush: name += "push"; break;
         case core::Mode::kPull: name += "pull"; break;
         case core::Mode::kPushPull: name += "pushpull"; break;
@@ -159,11 +159,11 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(core::Mode::kPush, core::Mode::kPushPull),
                        ::testing::Values(core::AsyncView::kGlobalClock,
                                          core::AsyncView::kPerNodeClocks)),
-    [](const auto& info) {
+    [](const auto& param_info) {
       std::string name = "f";
-      name += std::to_string(std::get<0>(info.param));
-      name += std::get<1>(info.param) == core::Mode::kPush ? "_push" : "_pushpull";
-      name += std::get<2>(info.param) == core::AsyncView::kGlobalClock ? "_global"
+      name += std::to_string(std::get<0>(param_info.param));
+      name += std::get<1>(param_info.param) == core::Mode::kPush ? "_push" : "_pushpull";
+      name += std::get<2>(param_info.param) == core::AsyncView::kGlobalClock ? "_global"
                                                                        : "_pernode";
       return name;
     });
@@ -194,10 +194,10 @@ INSTANTIATE_TEST_SUITE_P(AllFamilies, AuxMatrix,
                          ::testing::Combine(::testing::Range(0, kNumFamilies),
                                             ::testing::Values(core::AuxKind::kPpx,
                                                               core::AuxKind::kPpy)),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            std::string name = "f";
-                           name += std::to_string(std::get<0>(info.param));
-                           name += std::get<1>(info.param) == core::AuxKind::kPpx ? "_ppx"
+                           name += std::to_string(std::get<0>(param_info.param));
+                           name += std::get<1>(param_info.param) == core::AuxKind::kPpx ? "_ppx"
                                                                                   : "_ppy";
                            return name;
                          });
