@@ -62,6 +62,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e10_expansion",
     .title = "conductance bound O(log n / phi) transfers to pp-a (via Theorem 1)",
     .claim = "Both normalized columns t*phi/log(n) must be bounded by the same constant.",
+    .defaults = "trials=200 seed=10002 per graph",
     .run = run,
 }};
 

@@ -66,6 +66,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e12_discretization",
     .title = "exact event-driven async vs dt-sliced approximation",
     .claim = "KS to exact must shrink with dt; coarse slices bias slow (lost relay chains).",
+    .defaults = "trials=300 seed=12002 per time-slice dt",
     .run = run,
 }};
 

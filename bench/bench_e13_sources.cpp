@@ -75,6 +75,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e13_sources",
     .title = "worst-case vs best-case sources",
     .claim = "worst/best spread is a constant factor; thm1 ratio bounded at the worst source.",
+    .defaults = "trials=200 seed=13002 (adversary final_trials=100)",
     .run = run,
 }};
 

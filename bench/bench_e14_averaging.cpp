@@ -80,6 +80,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e14_averaging",
     .title = "averaging [4] vs spreading vs spectral gap",
     .claim = "columns must order topologies identically; gap*avg roughly flat.",
+    .defaults = "runs=20 trials=100 seed=14002 per topology",
     .run = run,
 }};
 

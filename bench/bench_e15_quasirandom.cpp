@@ -63,6 +63,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e15_quasirandom",
     .title = "quasirandom [11] vs fully random synchronous push-pull",
     .claim = "mean ratio must sit near 1 on every family (the [11] finding).",
+    .defaults = "trials=200 seed=15002 per (family, n) point",
     .run = run,
 }};
 

@@ -75,6 +75,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e2_theorem1",
     .title = "Theorem 1 ratio hp(pp-a) / (hp(pp) + ln n)",
     .claim = "Bounded-by-constant across families and n is the theorem's claim.",
+    .defaults = "trials=300 seed=2002 per (family, n) point",
     .run = run,
 }};
 

@@ -56,6 +56,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e3_star",
     .title = "star graph — sync constant vs async Theta(log n)",
     .claim = "Sync hp-time must stay <= 2; async mean must grow like a*ln(n).",
+    .defaults = "trials=400 seed=3003 per star size",
     .run = run,
 }};
 

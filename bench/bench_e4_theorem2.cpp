@@ -85,6 +85,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e4_theorem2",
     .title = "Theorem 2 — E[T(pp)] / E[T(pp-a)] vs sqrt(n)",
     .claim = "ratio/sqrt(n) must stay bounded; the fitted exponent must be < 1/2.",
+    .defaults = "trials=100, seeds 4004/4005/4006 per family row",
     .run = run,
 }};
 

@@ -80,6 +80,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e6_blocks",
     .title = "block coupling accounting (Lemmas 13/14)",
     .claim = "rho/budget must be O(1); spec_rounds ~ O(sqrt(n)); subset invariant always.",
+    .defaults = "runs=20 seed=6002 coupled executions per n",
     .run = run,
 }};
 

@@ -92,6 +92,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e7_chain",
     .title = "process chain pp / ppx / ppy / pp-a (Lemmas 6, 9, 10)",
     .claim = "Medians must order ppx <= pp; pathwise gaps must scale with log n only.",
+    .defaults = "trials=300 seed=7002 (pathwise runs=40 on seed+1)",
     .run = run,
 }};
 

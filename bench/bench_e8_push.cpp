@@ -58,6 +58,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e8_push",
     .title = "push-only — sync push vs async push (Sauerwald's relation)",
     .claim = "hp(sync)/hp(async) must be Theta(1) on every family.",
+    .defaults = "trials=200 seed=8002 per (family, n) point",
     .run = run,
 }};
 

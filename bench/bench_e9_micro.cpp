@@ -202,6 +202,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .claim = "Global-clock async beats per-edge clocks; primitives in the ns range. "
              "(--trials < 100 shrinks iteration batches to that percent; "
              "values >= 100 are the default — use --scale to grow.)",
+    .defaults = "seed=1; calibrated iteration batches (no trial count; --trials = % budget)",
     .run = run,
 }};
 

@@ -1,0 +1,551 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "graph/generators.hpp"
+#include "rng/rng.hpp"
+#include "sim/experiment.hpp"
+
+namespace rumor::sim {
+
+using graph::Graph;
+
+// --- Graph construction from a spec -----------------------------------------
+
+Graph build_graph(const GraphSpec& spec, std::uint64_t fallback_seed) {
+  if (spec.n < 2 || spec.n > std::numeric_limits<graph::NodeId>::max()) {
+    throw std::runtime_error("build_graph: '" + spec.family + "' needs 2 <= n <= 2^32-1");
+  }
+  const auto n = static_cast<graph::NodeId>(spec.n);
+  const std::uint64_t graph_seed = spec.graph_seed != 0 ? spec.graph_seed : fallback_seed;
+  // A dedicated stream tag keeps graph randomness disjoint from the trial
+  // streams derive_stream(seed, 0..trials) of the same configuration.
+  rng::Engine eng = rng::derive_stream(graph_seed, 0x67726170685f5f5fULL);
+
+  const std::string& f = spec.family;
+  if (f == "complete") return graph::complete(n);
+  if (f == "star") return graph::star(n);
+  if (f == "double_star") return graph::double_star(n);
+  if (f == "path") return graph::path(n);
+  if (f == "cycle") return graph::cycle(n);
+  if (f == "wheel") return graph::wheel(n);
+  if (f == "tree" || f == "complete_binary_tree") return graph::complete_binary_tree(n);
+  if (f == "complete_bipartite") return graph::complete_bipartite(n / 2, n - n / 2);
+  if (f == "torus") {
+    const auto side = std::max<graph::NodeId>(
+        2, static_cast<graph::NodeId>(std::llround(std::sqrt(static_cast<double>(n)))));
+    return graph::torus(side);
+  }
+  if (f == "torus3d") {
+    const auto side = std::max<graph::NodeId>(
+        2, static_cast<graph::NodeId>(std::llround(std::cbrt(static_cast<double>(n)))));
+    return graph::torus3d(side);
+  }
+  if (f == "hypercube") {
+    const auto dim = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::llround(std::log2(static_cast<double>(n)))));
+    return graph::hypercube(dim);
+  }
+  if (f == "erdos_renyi") {
+    const double p =
+        spec.p > 0.0 ? spec.p : 3.0 * std::log(static_cast<double>(n)) / static_cast<double>(n);
+    return graph::largest_component(graph::erdos_renyi(n, p, eng));
+  }
+  if (f == "random_regular") {
+    const std::uint32_t d = spec.degree != 0 ? spec.degree : 6;
+    // The configuration model needs n*d even; round the odd case up so
+    // size sweeps over arbitrary n stay valid (the actual n is reported).
+    const graph::NodeId nn = (std::uint64_t{n} * d) % 2 == 0 ? n : n + 1;
+    return graph::random_regular(nn, d, eng);
+  }
+  if (f == "chung_lu") {
+    graph::ChungLuOptions options;
+    options.beta = spec.beta;
+    options.average_degree = spec.average_degree;
+    return graph::largest_component(graph::chung_lu(n, options, eng));
+  }
+  if (f == "preferential_attachment") {
+    return graph::preferential_attachment(n, spec.degree != 0 ? spec.degree : 3, eng);
+  }
+  if (f == "watts_strogatz") {
+    std::uint32_t k = spec.degree != 0 ? spec.degree : 4;
+    if (k % 2 != 0) ++k;  // the lattice needs an even k
+    const double rewire = spec.p > 0.0 ? spec.p : 0.1;
+    return graph::largest_component(graph::watts_strogatz(n, k, rewire, eng));
+  }
+  throw std::runtime_error("build_graph: unknown graph family '" + f + "'");
+}
+
+// --- The shared-queue scheduler ----------------------------------------------
+
+namespace {
+
+/// One execution of the configured protocol; the campaign analogue of the
+/// measure_* wrappers in harness.cpp.
+double run_one(const CampaignConfig& cfg, const Graph& g, rng::Engine& eng) {
+  switch (cfg.engine) {
+    case EngineKind::kSync: {
+      core::SyncOptions options;
+      options.mode = cfg.mode;
+      const auto result = core::run_sync(g, cfg.source, eng, options);
+      if (!result.completed) {
+        throw std::runtime_error("campaign: run_sync hit the round cap (disconnected graph?)");
+      }
+      return static_cast<double>(result.rounds);
+    }
+    case EngineKind::kAsync: {
+      core::AsyncOptions options;
+      options.mode = cfg.mode;
+      options.view = cfg.view;
+      const auto result = core::run_async(g, cfg.source, eng, options);
+      if (!result.completed) {
+        throw std::runtime_error("campaign: run_async hit the step cap (disconnected graph?)");
+      }
+      return result.time;
+    }
+    case EngineKind::kAux: {
+      core::AuxOptions options;
+      options.kind = cfg.aux;
+      const auto result = core::run_aux(g, cfg.source, eng, options);
+      if (!result.completed) {
+        throw std::runtime_error("campaign: run_aux hit the round cap (disconnected graph?)");
+      }
+      return static_cast<double>(result.rounds);
+    }
+  }
+  throw std::runtime_error("campaign: unknown engine kind");
+}
+
+struct Block {
+  std::size_t config = 0;  // index into `configs`
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::size_t slot = 0;    // block ordinal within its configuration
+};
+
+/// Mutable per-configuration scheduling state. Partials are indexed by
+/// block slot and merged in slot order by whichever worker finishes the
+/// configuration's last block — a fixed-order reduction tree, so the final
+/// summary does not depend on completion order or thread count.
+struct ConfigState {
+  std::once_flag build_once;
+  std::shared_ptr<const Graph> graph;
+  std::vector<stats::StreamingSummary> partials;
+  std::atomic<std::uint64_t> blocks_left{0};
+};
+
+}  // namespace
+
+std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& configs,
+                                         const CampaignOptions& options) {
+  const std::uint64_t block_size = std::max<std::uint64_t>(options.block_size, 1);
+
+  std::vector<Block> blocks;
+  std::vector<ConfigState> states(configs.size());
+  std::vector<CampaignResult> results(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const CampaignConfig& cfg = configs[c];
+    if (cfg.trials == 0) {
+      throw std::runtime_error("campaign: configuration '" + cfg.id + "' has trials == 0");
+    }
+    std::size_t slot = 0;
+    for (std::uint64_t begin = 0; begin < cfg.trials; begin += block_size) {
+      blocks.push_back(Block{c, begin, std::min(begin + block_size, cfg.trials), slot++});
+    }
+    states[c].partials.resize(slot);
+    states[c].blocks_left.store(slot, std::memory_order_relaxed);
+
+    CampaignResult& r = results[c];
+    r.id = !cfg.id.empty() ? cfg.id : "cfg" + std::to_string(c);
+    r.engine = engine_name(cfg.engine);
+    r.mode = core::mode_name(cfg.mode);
+    r.trials = cfg.trials;
+    r.seed = cfg.seed;
+    r.hp_q = cfg.hp_q > 0.0 ? cfg.hp_q : 1.0 / static_cast<double>(cfg.trials);
+  }
+
+  unsigned workers = options.threads != 0 ? options.threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = static_cast<unsigned>(std::min<std::size_t>(workers, blocks.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto process_block = [&](const Block& block) {
+    const CampaignConfig& cfg = configs[block.config];
+    ConfigState& st = states[block.config];
+    // Lazy one-shot graph construction on whichever worker gets there
+    // first; prebuilt graphs are shared as-is. call_once re-runs on a later
+    // caller if the builder throws, but the error capture below drains the
+    // queue before that matters.
+    std::call_once(st.build_once, [&] {
+      st.graph = cfg.prebuilt != nullptr
+                     ? cfg.prebuilt
+                     : std::make_shared<const Graph>(build_graph(cfg.graph, cfg.seed));
+    });
+    // The engines only assert() this precondition, which compiles out in
+    // Release — and spec-driven sources are user input, so check it here.
+    if (cfg.source >= st.graph->num_nodes()) {
+      throw std::runtime_error("campaign: configuration '" + results[block.config].id +
+                               "' source " + std::to_string(cfg.source) +
+                               " is out of range for " + st.graph->name());
+    }
+
+    stats::StreamingSummary::Options summary_options;
+    summary_options.sketch_capacity = options.sketch_capacity;
+    summary_options.reservoir_capacity =
+        cfg.reservoir_capacity != 0 ? cfg.reservoir_capacity : options.reservoir_capacity;
+    summary_options.reservoir_salt = cfg.seed;
+    stats::StreamingSummary partial(summary_options);
+    for (std::uint64_t t = block.begin; t < block.end; ++t) {
+      rng::Engine eng = rng::derive_stream(cfg.seed, t);
+      partial.add(run_one(cfg, *st.graph, eng), t);
+    }
+    st.partials[block.slot] = std::move(partial);
+
+    if (st.blocks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last block of this configuration: fold partials in slot order and
+      // release the graph and per-block state — from here on the
+      // configuration occupies only its constant-size summary.
+      stats::StreamingSummary total = std::move(st.partials.front());
+      for (std::size_t s = 1; s < st.partials.size(); ++s) total.merge(st.partials[s]);
+      CampaignResult& r = results[block.config];
+      r.graph_name = st.graph->name();
+      r.n = st.graph->num_nodes();
+      r.summary = std::move(total);
+      st.partials.clear();
+      st.partials.shrink_to_fit();
+      st.graph.reset();
+    }
+  };
+
+  if (workers <= 1) {
+    for (const Block& block : blocks) process_block(block);
+    return results;
+  }
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= blocks.size()) return;
+      try {
+        process_block(blocks[b]);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(blocks.size(), std::memory_order_relaxed);  // drain fast
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+// --- Spec parsing ------------------------------------------------------------
+
+namespace {
+
+/// Returns the key's number if present; `fallback` when absent. Records an
+/// error when the key exists with a non-numeric value.
+double number_or(const Json& obj, const std::string& key, double fallback, std::string& error) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    error = "key '" + key + "' must be a number";
+    return fallback;
+  }
+  return v->as_number();
+}
+
+/// Non-negative integer variant: rejects negatives and fractions before the
+/// value reaches an unsigned cast (where a negative double would be UB).
+std::uint64_t uint_or(const Json& obj, const std::string& key, std::uint64_t fallback,
+                      std::string& error) {
+  const double v = number_or(obj, key, static_cast<double>(fallback), error);
+  if (v < 0.0 || v != std::floor(v)) {
+    error = "key '" + key + "' must be a non-negative integer";
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string string_or(const Json& obj, const std::string& key, const std::string& fallback,
+                      std::string& error) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) {
+    error = "key '" + key + "' must be a string";
+    return fallback;
+  }
+  return v->as_string();
+}
+
+bool parse_engine(const std::string& s, EngineKind& out) {
+  if (s == "sync") out = EngineKind::kSync;
+  else if (s == "async") out = EngineKind::kAsync;
+  else if (s == "aux") out = EngineKind::kAux;
+  else return false;
+  return true;
+}
+
+bool parse_mode(const std::string& s, core::Mode& out) {
+  if (s == "push") out = core::Mode::kPush;
+  else if (s == "pull") out = core::Mode::kPull;
+  else if (s == "push-pull") out = core::Mode::kPushPull;
+  else return false;
+  return true;
+}
+
+/// Collects a scalar-or-array key as a vector of Json scalars (one-element
+/// vector for scalars; `fallback` when the key is absent).
+std::vector<const Json*> scalar_or_array(const Json& obj, const std::string& key) {
+  std::vector<const Json*> out;
+  const Json* v = obj.find(key);
+  if (v == nullptr) return out;
+  if (v->is_array()) {
+    for (const Json& e : v->elements()) out.push_back(&e);
+  } else {
+    out.push_back(v);
+  }
+  return out;
+}
+
+constexpr const char* kKnownKeys[] = {
+    "id",     "graph",  "n",    "p",       "degree", "beta",
+    "average_degree", "graph_seed", "engine", "mode", "view", "aux",
+    "source", "trials", "seed", "hp_q",    "reservoir_capacity",
+};
+
+}  // namespace
+
+CampaignSpec parse_campaign_spec(const Json& doc) {
+  CampaignSpec spec;
+  if (!doc.is_object()) {
+    spec.error = "campaign spec must be a JSON object";
+    return spec;
+  }
+  std::string error;
+  spec.name = string_or(doc, "name", "campaign", error);
+
+  // Defaults applied to every config entry (each entry may override).
+  CampaignConfig proto;
+  const Json* defaults = doc.find("defaults");
+  Json empty_defaults = Json::object();
+  if (defaults == nullptr) defaults = &empty_defaults;
+  if (!defaults->is_object()) {
+    spec.error = "'defaults' must be an object";
+    return spec;
+  }
+
+  auto apply_scalars = [&error](const Json& obj, CampaignConfig& cfg) {
+    cfg.trials = uint_or(obj, "trials", cfg.trials, error);
+    cfg.seed = uint_or(obj, "seed", cfg.seed, error);
+    cfg.source = static_cast<graph::NodeId>(
+        uint_or(obj, "source", cfg.source, error));
+    cfg.hp_q = number_or(obj, "hp_q", cfg.hp_q, error);
+    if (cfg.hp_q < 0.0 || cfg.hp_q >= 1.0) error = "key 'hp_q' must be in [0, 1)";
+    cfg.reservoir_capacity =
+        static_cast<std::size_t>(uint_or(obj, "reservoir_capacity", cfg.reservoir_capacity, error));
+    cfg.graph.p = number_or(obj, "p", cfg.graph.p, error);
+    if (cfg.graph.p < 0.0 || cfg.graph.p > 1.0) error = "key 'p' must be in [0, 1]";
+    cfg.graph.degree = static_cast<std::uint32_t>(uint_or(obj, "degree", cfg.graph.degree, error));
+    cfg.graph.beta = number_or(obj, "beta", cfg.graph.beta, error);
+    cfg.graph.average_degree = number_or(obj, "average_degree", cfg.graph.average_degree, error);
+    if (cfg.graph.beta <= 0.0 || cfg.graph.average_degree <= 0.0) {
+      error = "keys 'beta' and 'average_degree' must be positive";
+    }
+    cfg.graph.graph_seed = uint_or(obj, "graph_seed", cfg.graph.graph_seed, error);
+    const std::string view = string_or(obj, "view", "", error);
+    if (view == "per-node") cfg.view = core::AsyncView::kPerNodeClocks;
+    else if (view == "per-edge") cfg.view = core::AsyncView::kPerEdgeClocks;
+    else if (view == "global-clock") cfg.view = core::AsyncView::kGlobalClock;
+    else if (!view.empty()) error = "unknown async view '" + view + "'";
+    const std::string aux = string_or(obj, "aux", "", error);
+    if (aux == "ppx") cfg.aux = core::AuxKind::kPpx;
+    else if (aux == "ppy") cfg.aux = core::AuxKind::kPpy;
+    else if (!aux.empty()) error = "unknown aux kind '" + aux + "'";
+  };
+
+  // The same typo protection configs get: every defaults key must be known,
+  // and per-entry-only keys (id/graph/n) make no sense as shared values.
+  for (const auto& [key, value] : defaults->entries()) {
+    const bool known = std::find_if(std::begin(kKnownKeys), std::end(kKnownKeys),
+                                    [&key = key](const char* k) { return key == k; }) !=
+                       std::end(kKnownKeys);
+    if (!known || key == "id" || key == "graph" || key == "n") {
+      spec.error = "defaults: key '" + key + "' is not allowed here";
+      return spec;
+    }
+  }
+  apply_scalars(*defaults, proto);
+  const std::string default_engine = string_or(*defaults, "engine", "sync", error);
+  const std::string default_mode = string_or(*defaults, "mode", "push-pull", error);
+  if (!error.empty()) {
+    spec.error = "defaults: " + error;
+    return spec;
+  }
+
+  const Json* entries = doc.find("configs");
+  if (entries == nullptr || !entries->is_array() || entries->elements().empty()) {
+    spec.error = "'configs' must be a non-empty array";
+    return spec;
+  }
+
+  std::map<std::string, int> id_uses;  // disambiguates duplicate auto-ids
+  for (std::size_t e = 0; e < entries->elements().size(); ++e) {
+    const Json& entry = entries->elements()[e];
+    const std::string where = "configs[" + std::to_string(e) + "]";
+    if (!entry.is_object()) {
+      spec.error = where + " must be an object";
+      return spec;
+    }
+    for (const auto& [key, value] : entry.entries()) {
+      if (std::find_if(std::begin(kKnownKeys), std::end(kKnownKeys),
+                       [&key = key](const char* k) { return key == k; }) ==
+          std::end(kKnownKeys)) {
+        spec.error = where + ": unknown key '" + key + "'";
+        return spec;
+      }
+    }
+
+    CampaignConfig base = proto;
+    apply_scalars(entry, base);
+    base.graph.family = string_or(entry, "graph", "", error);
+    if (!error.empty()) {
+      spec.error = where + ": " + error;
+      return spec;
+    }
+    if (base.graph.family.empty()) {
+      spec.error = where + ": missing required key 'graph'";
+      return spec;
+    }
+    const std::string explicit_id = string_or(entry, "id", "", error);
+    if (!error.empty()) {
+      spec.error = where + ": " + error;
+      return spec;
+    }
+
+    // "n", "engine", and "mode" may be arrays; expand their cross product.
+    const auto ns = scalar_or_array(entry, "n");
+    const auto engines = scalar_or_array(entry, "engine");
+    const auto modes = scalar_or_array(entry, "mode");
+    if (ns.empty()) {
+      spec.error = where + ": missing required key 'n'";
+      return spec;
+    }
+    for (const Json* n_value : ns) {
+      if (!n_value->is_number() || n_value->as_number() < 2.0) {
+        spec.error = where + ": 'n' entries must be numbers >= 2";
+        return spec;
+      }
+      for (std::size_t ei = 0; ei < std::max<std::size_t>(engines.size(), 1); ++ei) {
+        for (std::size_t mi = 0; mi < std::max<std::size_t>(modes.size(), 1); ++mi) {
+          CampaignConfig cfg = base;
+          cfg.graph.n = static_cast<std::uint64_t>(n_value->as_number());
+          std::string engine_str = default_engine;
+          if (!engines.empty()) {
+            if (!engines[ei]->is_string()) {
+              spec.error = where + ": 'engine' entries must be strings";
+              return spec;
+            }
+            engine_str = engines[ei]->as_string();
+          }
+          if (!parse_engine(engine_str, cfg.engine)) {
+            spec.error = where + ": unknown engine '" + engine_str + "'";
+            return spec;
+          }
+          std::string mode_str = default_mode;
+          if (!modes.empty()) {
+            if (!modes[mi]->is_string()) {
+              spec.error = where + ": 'mode' entries must be strings";
+              return spec;
+            }
+            mode_str = modes[mi]->as_string();
+          }
+          if (!parse_mode(mode_str, cfg.mode)) {
+            spec.error = where + ": unknown mode '" + mode_str + "'";
+            return spec;
+          }
+          std::string id = explicit_id;
+          if (id.empty()) {
+            id = cfg.graph.family + "_n" + std::to_string(cfg.graph.n) + "_" +
+                 engine_name(cfg.engine) + "_" + core::mode_name(cfg.mode);
+          }
+          const int use = id_uses[id]++;
+          if (use > 0) id += "#" + std::to_string(use);
+          cfg.id = id;
+          spec.configs.push_back(std::move(cfg));
+        }
+      }
+    }
+  }
+  return spec;
+}
+
+// --- Reporting ---------------------------------------------------------------
+
+Json campaign_report(const CampaignResult& result, const std::string& campaign_name) {
+  const stats::StreamingSummary& s = result.summary;
+  Json report = Json::object();
+  report.set("experiment", campaign_name + "/" + result.id);
+  report.set("title", result.graph_name + " — " + result.engine + " " + result.mode + ", " +
+                          std::to_string(result.trials) + " trials");
+
+  Json params = Json::object();
+  params.set("graph", result.graph_name);
+  params.set("n", result.n);
+  params.set("engine", result.engine);
+  params.set("mode", result.mode);
+  params.set("trials", result.trials);
+  params.set("seed", result.seed);
+  params.set("hp_q", result.hp_q);
+  report.set("params", std::move(params));
+
+  const auto ci = s.mean_ci();
+  Json row = Json::object();
+  row.set("graph", result.graph_name);
+  row.set("n", result.n);
+  row.set("trials", result.trials);
+  row.set("mean", s.mean());
+  row.set("stddev", s.stddev());
+  row.set("stderr", s.stderr_mean());
+  row.set("min", s.min());
+  row.set("max", s.max());
+  row.set("median", s.median());
+  row.set("p95", s.quantile(0.95));
+  row.set("hp_time", s.hp_time(result.hp_q));
+  row.set("mean_ci_lower", ci.lower);
+  row.set("mean_ci_upper", ci.upper);
+  Json rows = Json::array();
+  rows.push_back(std::move(row));
+  report.set("rows", std::move(rows));
+
+  Json stats = Json::object();
+  stats.set("mean", s.mean());
+  stats.set("stderr_mean", s.stderr_mean());
+  stats.set("hp_time", s.hp_time(result.hp_q));
+  report.set("stats", std::move(stats));
+
+  report.set("notes",
+             "Streaming summary: mean/min/max exact (merged Welford moments); median/p95/"
+             "hp_time from a mergeable quantile sketch (rank error bounds documented in "
+             "tests/test_streaming.cpp); CI bootstrapped from a bounded uniform reservoir.");
+  return report;
+}
+
+}  // namespace rumor::sim

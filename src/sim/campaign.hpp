@@ -1,0 +1,154 @@
+// rumor/sim: batched multi-graph trial scheduling with streaming statistics.
+//
+// The paper's claims are sweeps: spreading-time distributions across graph
+// families, sizes, protocol modes, and sources. run_trials (harness.hpp)
+// parallelizes *within* one configuration and materializes every sample, so
+// a sweep over thousands of configurations drains one thread pool after
+// another and holds all samples in memory. A campaign instead schedules the
+// whole configuration set as one shared work queue of fixed-size *trial
+// blocks*, keeping every core busy across configuration boundaries, and
+// reduces each configuration to a constant-size stats::StreamingSummary as
+// its blocks complete — graphs and partials are freed the moment their last
+// block finishes, so memory is bounded by the number of in-flight
+// configurations, not by the campaign size.
+//
+// Determinism contract (the harness's guarantee, extended): trial t of a
+// configuration with root seed s always runs on rng::derive_stream(s, t),
+// so per-trial results are bit-identical regardless of thread count, block
+// size, or interleaving. Block partials are merged in block-index order, so
+// the full summary is additionally bit-identical across thread counts at a
+// fixed block size; across block sizes, moments/quantiles agree to sketch
+// tolerance, and reservoir *contents* (bottom-k priority sampling) are
+// bit-identical always. Verified in tests/test_campaign.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/async.hpp"
+#include "core/aux_process.hpp"
+#include "core/protocol.hpp"
+#include "core/sync.hpp"
+#include "graph/graph.hpp"
+#include "stats/streaming.hpp"
+
+namespace rumor::sim {
+
+class Json;  // experiment.hpp
+
+/// Which protocol engine a configuration runs.
+enum class EngineKind : std::uint8_t { kSync, kAsync, kAux };
+
+[[nodiscard]] constexpr const char* engine_name(EngineKind e) noexcept {
+  switch (e) {
+    case EngineKind::kSync: return "sync";
+    case EngineKind::kAsync: return "async";
+    case EngineKind::kAux: return "aux";
+  }
+  return "?";
+}
+
+/// A graph described by name, for campaigns built from a JSON spec. The
+/// generator runs lazily on a worker thread when the configuration's first
+/// block is scheduled, from an engine derived from `graph_seed` — never
+/// from a shared generator stream — so construction is deterministic and
+/// campaigns of thousands of graphs never hold more than the in-flight few.
+struct GraphSpec {
+  std::string family;        // generator name, see build_graph()
+  std::uint64_t n = 0;       // requested node count (families round as needed)
+  double p = 0.0;            // erdos_renyi edge probability / watts_strogatz rewire
+  std::uint32_t degree = 0;  // random_regular d / watts_strogatz k / pa edges_per_node
+  double beta = 2.5;         // chung_lu exponent
+  double average_degree = 8.0;  // chung_lu average degree
+  std::uint64_t graph_seed = 0;  // 0 = derive from the config seed
+};
+
+/// Builds the graph a spec describes (always connected: random families are
+/// reduced to their largest component or generated with connectivity
+/// retries). Throws std::runtime_error on an unknown family or bad sizes.
+/// `fallback_seed` seeds random families when spec.graph_seed == 0.
+[[nodiscard]] graph::Graph build_graph(const GraphSpec& spec, std::uint64_t fallback_seed);
+
+/// One (graph, protocol, trial-count) cell of a campaign.
+struct CampaignConfig {
+  std::string id;   // stable report id; auto-derived from the spec if empty
+  GraphSpec graph;  // used when `prebuilt` is empty
+  /// Experiments migrating onto the campaign path hand in graphs they
+  /// already built; shared_ptr because several configs (e.g. sync and async
+  /// over one topology) typically share a graph.
+  std::shared_ptr<const graph::Graph> prebuilt;
+  EngineKind engine = EngineKind::kSync;
+  core::Mode mode = core::Mode::kPushPull;
+  core::AsyncView view = core::AsyncView::kGlobalClock;
+  core::AuxKind aux = core::AuxKind::kPpx;
+  graph::NodeId source = 0;
+  std::uint64_t trials = 200;
+  std::uint64_t seed = 1;  // trial t runs on derive_stream(seed, t)
+  /// T_q tail probability reported as hp_time; 0 means 1/trials (the
+  /// harness's documented convention for large n).
+  double hp_q = 0.0;
+  /// Per-config reservoir override (0 = CampaignOptions default). Configs
+  /// needing exact samples downstream (e.g. KS tests) set this >= trials.
+  std::size_t reservoir_capacity = 0;
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// Trials per scheduled block. Small blocks interleave configurations
+  /// more finely (better load balance); large blocks amortize scheduling.
+  std::uint64_t block_size = 32;
+  std::size_t sketch_capacity = 256;
+  std::size_t reservoir_capacity = 512;
+};
+
+/// One configuration's reduced result: identification plus the streaming
+/// summary. No per-trial vectors.
+struct CampaignResult {
+  std::string id;
+  std::string graph_name;    // the built graph's own name
+  std::uint64_t n = 0;       // actual node count of the built graph
+  std::string engine;        // "sync" / "async" / "aux"
+  std::string mode;          // "push" / "pull" / "push-pull"
+  std::uint64_t trials = 0;
+  std::uint64_t seed = 0;
+  double hp_q = 0.0;         // resolved (never 0)
+  stats::StreamingSummary summary;
+};
+
+/// Runs every configuration's trials over one shared block queue. Results
+/// are ordered like `configs`. Throws the first trial/build exception after
+/// draining the pool (mirroring run_trials).
+[[nodiscard]] std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& configs,
+                                                       const CampaignOptions& options = {});
+
+/// Parses a campaign spec document into configurations. Grammar (all
+/// `defaults` keys optional, every config key overridable per entry):
+///
+///   { "name": "sweep",                     // optional campaign id prefix
+///     "defaults": { "trials": 200, "seed": 1, "engine": "sync",
+///                   "mode": "push-pull", "source": 0, "hp_q": 0 },
+///     "configs": [
+///       { "graph": "star", "n": [256, 1024, 4096] },   // arrays expand
+///       { "graph": "random_regular", "n": 512, "degree": 6,
+///         "engine": ["sync", "async"], "graph_seed": 42 } ] }
+///
+/// "n", "engine", and "mode" accept scalars or arrays; array-valued keys
+/// expand to their cross product, so a compact spec can describe thousands
+/// of configurations. See bench/README.md for the full key reference.
+struct CampaignSpec {
+  std::string name;  // defaults to "campaign"
+  std::vector<CampaignConfig> configs;
+  std::string error;  // non-empty = parse failure (other fields unspecified)
+};
+
+[[nodiscard]] CampaignSpec parse_campaign_spec(const Json& doc);
+
+/// Renders one result as a report in the established experiment schema:
+/// { "experiment": "<campaign>/<id>", "params": {...}, "rows": [one row of
+/// summary statistics], "stats": {...}, "notes": ... }.
+[[nodiscard]] Json campaign_report(const CampaignResult& result, const std::string& campaign_name);
+
+}  // namespace rumor::sim

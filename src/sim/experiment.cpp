@@ -7,9 +7,15 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <ostream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 
+#include <unistd.h>
+
+#include "sim/campaign.hpp"
 #include "sim/table.hpp"
 
 namespace rumor::sim {
@@ -482,16 +488,50 @@ unsigned env_scale() {
 void print_usage(std::ostream& out) {
   out << "usage: rumor_bench [options] (--all | <experiment>...)\n"
          "       rumor_bench --list [--json]\n"
+         "       rumor_bench --campaign spec.json [--json] [--threads T] [--batch B]\n"
          "\n"
          "options:\n"
-         "  --list         list registered experiments and exit\n"
-         "  --all          run every registered experiment\n"
-         "  --json         emit machine-readable JSON instead of tables\n"
-         "  --trials N     override the trial count of every measurement\n"
-         "  --seed S       override the root seed (trial i uses stream i)\n"
-         "  --threads T    worker threads (0 = hardware concurrency)\n"
-         "  --scale K      workload multiplier in [1, 64] (default: $RUMOR_BENCH_SCALE or 1)\n"
-         "  --help         this text\n";
+         "  --list           list registered experiments (title, claim, defaults) and exit\n"
+         "  --all            run every registered experiment\n"
+         "  --json           emit machine-readable JSON instead of tables\n"
+         "  --out FILE       write the report to FILE via temp-file + atomic rename\n"
+         "  --campaign FILE  run a JSON campaign spec over one shared trial-block queue\n"
+         "                   (spec grammar: see bench/README.md)\n"
+         "  --batch B        campaign trials per scheduled block (default 32)\n"
+         "  --trials N       override the trial count of every measurement\n"
+         "  --seed S         override the root seed (trial i uses stream i)\n"
+         "  --threads T      worker threads (0 = hardware concurrency)\n"
+         "  --scale K        workload multiplier in [1, 64] (default: $RUMOR_BENCH_SCALE or 1)\n"
+         "  --help           this text\n";
+}
+
+/// Writes `contents` to `path` through a sibling temp file and an atomic
+/// rename, so readers (CI artifact capture in particular) never observe a
+/// truncated report even if the process dies mid-write. The temp name is
+/// pid-unique so concurrent writers with the same --out cannot interleave
+/// into one temp file; last rename wins with a complete report either way.
+bool write_file_atomic(const std::string& path, const std::string& contents, std::ostream& err) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      err << "rumor_bench: cannot open " << tmp << " for writing\n";
+      return false;
+    }
+    file << contents;
+    file.flush();
+    if (!file) {
+      err << "rumor_bench: short write to " << tmp << "\n";
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    err << "rumor_bench: cannot rename " << tmp << " to " << path << "\n";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -502,6 +542,9 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
   bool list = false;
   bool all = false;
   bool json = false;
+  std::string campaign_file;
+  std::string out_file;
+  std::uint64_t batch = 32;
   std::vector<std::string> names;
 
   auto numeric_arg = [&](int& i, const char* flag) -> std::optional<std::uint64_t> {
@@ -559,6 +602,26 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
       const auto v = numeric_arg(i, "--threads");
       if (!v) return 2;
       opts.threads = static_cast<unsigned>(*v);
+    } else if (arg == "--batch") {
+      const auto v = numeric_arg(i, "--batch");
+      if (!v) return 2;
+      if (*v == 0) {
+        err << "rumor_bench: --batch must be >= 1\n";
+        return 2;
+      }
+      batch = *v;
+    } else if (arg == "--campaign") {
+      if (i + 1 >= argc) {
+        err << "rumor_bench: --campaign requires a file path\n";
+        return 2;
+      }
+      campaign_file = argv[++i];
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) {
+        err << "rumor_bench: --out requires a file path\n";
+        return 2;
+      }
+      out_file = argv[++i];
     } else if (arg == "--scale") {
       const auto v = numeric_arg(i, "--scale");
       if (!v) return 2;
@@ -574,6 +637,15 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
 
   const auto& registry = ExperimentRegistry::instance();
 
+  // With --out, reports accumulate in a buffer and land on disk in one
+  // atomic rename at the end; diagnostics still go to `err` immediately.
+  std::ostringstream buffer;
+  std::ostream& sink = out_file.empty() ? out : static_cast<std::ostream&>(buffer);
+  auto finish = [&]() -> int {
+    if (!out_file.empty() && !write_file_atomic(out_file, buffer.str(), err)) return 1;
+    return 0;
+  };
+
   if (list) {
     if (json) {
       Json arr = Json::array();
@@ -582,15 +654,76 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
         entry.set("experiment", e->name);
         entry.set("title", e->title);
         entry.set("claim", e->claim);
+        entry.set("defaults", e->defaults);
         arr.push_back(std::move(entry));
       }
-      out << arr.dump(2) << "\n";
+      sink << arr.dump(2) << "\n";
     } else {
       for (const ExperimentInfo* e : registry.all()) {
-        out << e->name << "\n    " << e->title << "\n";
+        sink << e->name << "\n    " << e->title << "\n";
+        if (!e->claim.empty()) sink << "    claim: " << e->claim << "\n";
+        if (!e->defaults.empty()) sink << "    defaults: " << e->defaults << "\n";
       }
     }
-    return 0;
+    return finish();
+  }
+
+  if (!campaign_file.empty()) {
+    if (all || !names.empty()) {
+      err << "rumor_bench: --campaign cannot be combined with experiment names or --all\n";
+      return 2;
+    }
+    std::ifstream file(campaign_file, std::ios::binary);
+    if (!file) {
+      err << "rumor_bench: cannot read campaign spec " << campaign_file << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    const auto doc = Json::parse(text.str());
+    if (!doc) {
+      err << "rumor_bench: " << campaign_file << " is not valid JSON\n";
+      return 2;
+    }
+    CampaignSpec spec = parse_campaign_spec(*doc);
+    if (!spec.error.empty()) {
+      err << "rumor_bench: bad campaign spec: " << spec.error << "\n";
+      return 2;
+    }
+    // The global overrides keep their documented meaning here: --trials
+    // replaces every configuration's trial count (--scale multiplies the
+    // spec's own counts otherwise) and --seed replaces every root seed.
+    for (CampaignConfig& cfg : spec.configs) {
+      cfg.trials = opts.trials != 0 ? opts.trials : cfg.trials * opts.scale;
+      if (opts.seed != 0) cfg.seed = opts.seed;
+    }
+    CampaignOptions campaign_options;
+    campaign_options.threads = opts.threads;
+    campaign_options.block_size = batch;
+    std::vector<CampaignResult> results;
+    try {
+      results = run_campaign(spec.configs, campaign_options);
+    } catch (const std::exception& e) {
+      err << "rumor_bench: campaign failed: " << e.what() << "\n";
+      return 1;
+    }
+    Json reports = Json::array();
+    for (const CampaignResult& r : results) {
+      Json report = campaign_report(r, spec.name);
+      if (json) {
+        reports.push_back(std::move(report));
+      } else {
+        print_human(report, sink);
+      }
+    }
+    if (json) {
+      if (reports.size() == 1) {
+        sink << reports.elements().front().dump(2) << "\n";
+      } else {
+        sink << reports.dump(2) << "\n";
+      }
+    }
+    return finish();
   }
 
   std::vector<const ExperimentInfo*> selected;
@@ -618,19 +751,19 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
     if (json) {
       reports.push_back(std::move(report));
     } else {
-      print_human(report, out);
+      print_human(report, sink);
     }
   }
   if (json) {
     // A single selected experiment emits its object directly (the common
     // scripted case); multiple selections emit the array.
     if (reports.size() == 1) {
-      out << reports.elements().front().dump(2) << "\n";
+      sink << reports.elements().front().dump(2) << "\n";
     } else {
-      out << reports.dump(2) << "\n";
+      sink << reports.dump(2) << "\n";
     }
   }
-  return 0;
+  return finish();
 }
 
 }  // namespace rumor::sim

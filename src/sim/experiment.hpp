@@ -158,9 +158,10 @@ using ExperimentFn = std::function<Json(const ExperimentContext&)>;
 
 /// One registered experiment.
 struct ExperimentInfo {
-  std::string name;   // stable CLI id, e.g. "e3_star"
-  std::string title;  // one-line banner
-  std::string claim;  // the paper-expected shape being checked
+  std::string name;      // stable CLI id, e.g. "e3_star"
+  std::string title;     // one-line banner
+  std::string claim;     // the paper-expected shape being checked
+  std::string defaults;  // human summary of default params, e.g. "trials=100 seed=42"
   ExperimentFn run;
 };
 
@@ -195,10 +196,13 @@ struct ExperimentRegistrar {
 
 /// The rumor_bench command line:
 ///   rumor_bench --list [--json]
-///   rumor_bench [--json] [--trials N] [--seed S] [--threads T] [--scale K]
-///               (--all | <name>...)
+///   rumor_bench [--json] [--out FILE] [--trials N] [--seed S] [--threads T]
+///               [--scale K] (--all | <name>...)
+///   rumor_bench --campaign spec.json [--json] [--out FILE] [--threads T]
+///               [--batch B]
 /// Returns the process exit code. Split from main() so the test suite can
-/// drive the CLI in-process.
+/// drive the CLI in-process. --out writes the report through a temp file +
+/// rename, so a crashed or interrupted run never leaves a truncated report.
 int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
 
 }  // namespace rumor::sim

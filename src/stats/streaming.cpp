@@ -1,0 +1,215 @@
+#include "stats/streaming.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "rng/rng.hpp"
+
+namespace rumor::stats {
+
+// --- QuantileSketch ----------------------------------------------------------
+
+QuantileSketch::QuantileSketch(std::size_t capacity_per_level)
+    : k_(std::max<std::size_t>(capacity_per_level, 8)) {}
+
+QuantileSketch::Level& QuantileSketch::level_at(std::size_t level) {
+  if (level >= levels_.size()) levels_.resize(level + 1);
+  return levels_[level];
+}
+
+void QuantileSketch::add(double x) {
+  ++count_;
+  level_at(0).items.push_back(x);
+  // Compact only beyond capacity: a level may hold exactly k items, so
+  // streams of up to k samples stay uncompacted (exact quantiles).
+  if (levels_[0].items.size() > k_) compact(0);
+}
+
+void QuantileSketch::compact(std::size_t level) {
+  // Sort, promote every second item of an even-sized prefix (each promoted
+  // item doubles in weight, exactly representing the pair it came from); an
+  // odd leftover item stays behind at its current weight so the sketch's
+  // total stored weight always equals count(). The selector alternates
+  // between even and odd positions on successive compactions so rank errors
+  // cancel pairwise instead of accumulating with one sign.
+  std::vector<double> promoted;
+  {
+    auto& lvl = level_at(level);
+    std::sort(lvl.items.begin(), lvl.items.end());
+    const std::size_t even = lvl.items.size() & ~std::size_t{1};
+    promoted.reserve(even / 2);
+    for (std::size_t i = lvl.keep_odd ? 1 : 0; i < even; i += 2) {
+      promoted.push_back(lvl.items[i]);
+    }
+    lvl.keep_odd = !lvl.keep_odd;
+    if (even < lvl.items.size()) {
+      lvl.items.front() = lvl.items.back();
+      lvl.items.resize(1);
+    } else {
+      lvl.items.clear();
+    }
+  }
+  auto& next = level_at(level + 1);  // may reallocate levels_
+  next.items.insert(next.items.end(), promoted.begin(), promoted.end());
+  if (next.items.size() > k_) compact(level + 1);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  count_ += other.count_;
+  for (std::size_t level = 0; level < other.levels_.size(); ++level) {
+    auto& mine = level_at(level);
+    const auto& theirs = other.levels_[level].items;
+    mine.items.insert(mine.items.end(), theirs.begin(), theirs.end());
+  }
+  // Re-establish the capacity invariant bottom-up; a compaction can push
+  // the next level over capacity, which the cascade inside compact handles.
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    if (levels_[level].items.size() > k_) compact(level);
+  }
+}
+
+std::size_t QuantileSketch::stored() const noexcept {
+  std::size_t total = 0;
+  for (const auto& lvl : levels_) total += lvl.items.size();
+  return total;
+}
+
+double QuantileSketch::quantile(double q) const {
+  assert(count_ > 0);
+  std::vector<std::pair<double, std::uint64_t>> weighted;  // (value, weight)
+  weighted.reserve(stored());
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    const std::uint64_t weight = std::uint64_t{1} << level;
+    for (double x : levels_[level].items) weighted.emplace_back(x, weight);
+  }
+  assert(!weighted.empty());
+  std::sort(weighted.begin(), weighted.end());
+  // Type-1 target rank, matching stats::quantile_sorted: the smallest value
+  // whose cumulative weight reaches ceil(q * count).
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  std::uint64_t target = 1;
+  if (clamped > 0.0) {
+    const double pos = std::ceil(clamped * static_cast<double>(count_));
+    target = pos < 1.0 ? 1 : static_cast<std::uint64_t>(pos);
+    if (target > count_) target = count_;
+  }
+  std::uint64_t cumulative = 0;
+  for (const auto& [value, weight] : weighted) {
+    cumulative += weight;
+    if (cumulative >= target) return value;
+  }
+  return weighted.back().first;
+}
+
+// --- ReservoirSample ---------------------------------------------------------
+
+namespace {
+
+/// Order-independent priority: a SplitMix64 hash of (salt, tag). Strict
+/// total order via (priority, tag, value) ties means "the k smallest" is a
+/// well-defined set, so reservoir contents cannot depend on merge shape.
+std::uint64_t priority_of(std::uint64_t salt, std::uint64_t tag) {
+  rng::SplitMix64 sm(salt ^ (tag * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ca01d9e3ULL));
+  return sm.next();
+}
+
+}  // namespace
+
+ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t salt)
+    : capacity_(std::max<std::size_t>(capacity, 1)), salt_(salt) {}
+
+bool ReservoirSample::entry_less(const Entry& a, const Entry& b) noexcept {
+  if (a.priority != b.priority) return a.priority < b.priority;
+  if (a.tag != b.tag) return a.tag < b.tag;
+  return a.value < b.value;
+}
+
+void ReservoirSample::add(double value, std::uint64_t tag) {
+  ++count_;
+  insert(Entry{priority_of(salt_, tag), tag, value});
+}
+
+void ReservoirSample::insert(const Entry& e) {
+  if (entries_.size() < capacity_) {
+    entries_.push_back(e);
+    // Heap order is established exactly when the reservoir fills; below
+    // capacity the vector is a plain append buffer.
+    if (entries_.size() == capacity_) {
+      std::make_heap(entries_.begin(), entries_.end(), entry_less);
+    }
+    return;
+  }
+  // Full: front() is the largest retained entry, so anything at or above
+  // it — the overwhelmingly common case in a long stream — is rejected in
+  // O(1); qualifying entries replace it in O(log k).
+  if (!entry_less(e, entries_.front())) return;
+  std::pop_heap(entries_.begin(), entries_.end(), entry_less);
+  entries_.back() = e;
+  std::push_heap(entries_.begin(), entries_.end(), entry_less);
+}
+
+void ReservoirSample::merge(const ReservoirSample& other) {
+  count_ += other.count_;
+  if (other.capacity_ < capacity_) {
+    capacity_ = other.capacity_;
+    shrink_to_capacity();
+  }
+  for (const Entry& e : other.entries_) insert(e);
+}
+
+void ReservoirSample::shrink_to_capacity() {
+  if (entries_.size() < capacity_) return;
+  if (entries_.size() > capacity_) {
+    std::nth_element(entries_.begin(),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(capacity_ - 1),
+                     entries_.end(), entry_less);
+    entries_.resize(capacity_);
+  }
+  std::make_heap(entries_.begin(), entries_.end(), entry_less);
+}
+
+std::vector<double> ReservoirSample::values() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& [tag, value] : entries()) out.push_back(value);
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>> ReservoirSample::entries() const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.emplace_back(e.tag, e.value);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --- StreamingSummary --------------------------------------------------------
+
+StreamingSummary::StreamingSummary(const Options& options)
+    : sketch_(options.sketch_capacity),
+      reservoir_(options.reservoir_capacity, options.reservoir_salt) {}
+
+void StreamingSummary::add(double value, std::uint64_t tag) {
+  moments_.add(value);
+  sketch_.add(value);
+  reservoir_.add(value, tag);
+}
+
+void StreamingSummary::merge(const StreamingSummary& other) {
+  moments_.merge(other.moments_);
+  sketch_.merge(other.sketch_);
+  reservoir_.merge(other.reservoir_);
+}
+
+BootstrapInterval StreamingSummary::mean_ci(double confidence, std::size_t resamples,
+                                            std::uint64_t seed) const {
+  // Sorted by value, so that with reservoir capacity >= count this interval
+  // is bit-identical to SpreadingTimeSample::mean_ci (which bootstraps the
+  // sorted sample vector).
+  std::vector<double> values = reservoir_.values();
+  std::sort(values.begin(), values.end());
+  return bootstrap_mean_ci(values, confidence, resamples, seed);
+}
+
+}  // namespace rumor::stats

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "sim/experiment.hpp"
@@ -168,4 +171,142 @@ TEST(BenchCli, UnknownExperimentFails) {
   int status = 0;
   run_bench("no_such_experiment --json 2>/dev/null", &status);
   EXPECT_NE(status, 0);
+}
+
+TEST(BenchCli, ListShowsClaimAndDefaults) {
+  const std::string human = run_bench("--list");
+  EXPECT_NE(human.find("claim: "), std::string::npos);
+  EXPECT_NE(human.find("defaults: "), std::string::npos);
+
+  const auto parsed = sim::Json::parse(run_bench("--list --json"));
+  ASSERT_TRUE(parsed.has_value());
+  for (const auto& entry : parsed->elements()) {
+    const sim::Json* defaults = entry.find("defaults");
+    ASSERT_NE(defaults, nullptr);
+    EXPECT_FALSE(defaults->as_string().empty())
+        << entry.find("experiment")->as_string() << " has no defaults line";
+  }
+}
+
+// --- --out: atomic report files ----------------------------------------------
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
+TEST(BenchCli, OutWritesCompleteReportFile) {
+  const std::string path = testing::TempDir() + "bench_cli_out.json";
+  std::remove(path.c_str());
+  int status = 0;
+  const std::string stdout_text =
+      run_bench("e3_star --trials 8 --seed 7 --json --out " + path, &status);
+  EXPECT_EQ(status, 0);
+  EXPECT_TRUE(stdout_text.empty()) << "--out must divert the report off stdout";
+
+  const auto parsed = sim::Json::parse(read_file(path));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("experiment")->as_string(), "e3_star");
+  // The (pid-suffixed) temp file of the atomic write must not linger.
+  for (const auto& entry : std::filesystem::directory_iterator(testing::TempDir())) {
+    EXPECT_EQ(entry.path().filename().string().rfind("bench_cli_out.json.tmp", 0),
+              std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BenchCli, OutToUnwritablePathFails) {
+  int status = 0;
+  run_bench("e3_star --trials 8 --json --out /no_such_dir/report.json 2>/dev/null", &status);
+  EXPECT_NE(status, 0);
+}
+
+// --- --campaign: the spec-driven sweep front end ------------------------------
+
+namespace {
+
+std::string write_spec(const std::string& name, const std::string& contents) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream file(path, std::ios::trunc);
+  file << contents;
+  return path;
+}
+
+}  // namespace
+
+TEST(BenchCli, CampaignRunsSpecAndEmitsPerConfigReports) {
+  const std::string spec = write_spec("bench_cli_campaign.json", R"({
+    "name": "clitest",
+    "defaults": {"trials": 8, "seed": 5},
+    "configs": [
+      {"graph": "star", "n": [32, 64], "engine": ["sync", "async"]},
+      {"graph": "hypercube", "n": 64}
+    ]})");
+  const std::string out = testing::TempDir() + "bench_cli_campaign_out.json";
+  int status = 0;
+  run_bench("--campaign " + spec + " --json --threads 2 --batch 4 --out " + out, &status);
+  EXPECT_EQ(status, 0);
+
+  const auto parsed = sim::Json::parse(read_file(out));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_array());
+  ASSERT_EQ(parsed->size(), 5u);  // 2 sizes x 2 engines + 1 hypercube
+  for (const auto& report : parsed->elements()) {
+    ASSERT_NE(report.find("experiment"), nullptr);
+    EXPECT_EQ(report.find("experiment")->as_string().rfind("clitest/", 0), 0u);
+    ASSERT_NE(report.find("rows"), nullptr);
+    ASSERT_EQ(report.find("rows")->size(), 1u);
+    const sim::Json& row = report.find("rows")->elements().front();
+    EXPECT_EQ(row.find("trials")->as_number(), 8.0);
+    EXPECT_GT(row.find("mean")->as_number(), 0.0);
+  }
+  std::remove(spec.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(BenchCli, CampaignHonorsTrialsAndSeedOverrides) {
+  const std::string spec = write_spec("bench_cli_override.json", R"({
+    "defaults": {"trials": 64, "seed": 5},
+    "configs": [{"graph": "star", "n": 32}]})");
+  int status = 0;
+  const std::string out = run_bench("--campaign " + spec + " --trials 4 --seed 11 --json", &status);
+  EXPECT_EQ(status, 0);
+  const auto parsed = sim::Json::parse(out);
+  ASSERT_TRUE(parsed.has_value()) << out;
+  EXPECT_EQ(parsed->find("params")->find("trials")->as_number(), 4.0);
+  EXPECT_EQ(parsed->find("params")->find("seed")->as_number(), 11.0);
+  std::remove(spec.c_str());
+}
+
+TEST(BenchCli, CampaignRejectsBadSpecs) {
+  int status = 0;
+  run_bench("--campaign /no/such/spec.json 2>/dev/null", &status);
+  EXPECT_NE(status, 0);
+
+  const std::string malformed = write_spec("bench_cli_malformed.json", "{ not json");
+  run_bench("--campaign " + malformed + " 2>/dev/null", &status);
+  EXPECT_NE(status, 0);
+
+  const std::string bad_key = write_spec("bench_cli_badkey.json",
+                                         R"({"configs": [{"graph": "star", "n": 32, "trails": 2}]})");
+  run_bench("--campaign " + bad_key + " 2>/dev/null", &status);
+  EXPECT_NE(status, 0);
+  std::remove(malformed.c_str());
+  std::remove(bad_key.c_str());
+}
+
+TEST(BenchCli, CampaignConflictsWithExperimentSelection) {
+  const std::string spec = write_spec("bench_cli_conflict.json",
+                                      R"({"configs": [{"graph": "star", "n": 32}]})");
+  int status = 0;
+  run_bench("--campaign " + spec + " e3_star 2>/dev/null", &status);
+  EXPECT_NE(status, 0);
+  std::remove(spec.c_str());
 }

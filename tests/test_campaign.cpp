@@ -1,0 +1,396 @@
+// Campaign-scheduler tests: the batched multi-configuration work queue of
+// sim/campaign.hpp, its determinism contract, its parity with the
+// per-configuration harness, the JSON spec front end, and the bounded-memory
+// behavior that lets thousand-configuration sweeps run without holding
+// sample vectors.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/rumor.hpp"
+#include "rng/rng.hpp"
+#include "sim/campaign.hpp"
+#include "sim/experiment.hpp"
+#include "sim/harness.hpp"
+
+using namespace rumor;
+
+namespace {
+
+std::shared_ptr<const graph::Graph> shared(graph::Graph g) {
+  return std::make_shared<const graph::Graph>(std::move(g));
+}
+
+/// A small mixed campaign: three topologies, sync and async engines.
+std::vector<sim::CampaignConfig> mixed_configs(std::uint64_t trials,
+                                               std::size_t reservoir_capacity = 0) {
+  static const auto kHypercube = shared(graph::hypercube(6));
+  static const auto kStar = shared(graph::star(128));
+  static const auto kCycle = shared(graph::cycle(96));
+  std::vector<sim::CampaignConfig> configs;
+  std::uint64_t seed = 500;
+  for (const auto& g : {kHypercube, kStar, kCycle}) {
+    for (const sim::EngineKind engine : {sim::EngineKind::kSync, sim::EngineKind::kAsync}) {
+      sim::CampaignConfig cfg;
+      cfg.id = g->name() + std::string("_") + sim::engine_name(engine);
+      cfg.prebuilt = g;
+      cfg.engine = engine;
+      cfg.trials = trials;
+      cfg.seed = ++seed;
+      cfg.reservoir_capacity = reservoir_capacity;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  return configs;
+}
+
+/// All reported statistics of one result, for exact cross-run comparison.
+std::vector<double> fingerprint(const sim::CampaignResult& r) {
+  const auto& s = r.summary;
+  std::vector<double> out = {s.mean(),   s.stddev(),        s.min(),
+                             s.max(),    s.median(),        s.quantile(0.95),
+                             s.hp_time(r.hp_q)};
+  for (const auto& [tag, value] : s.reservoir().entries()) {
+    out.push_back(static_cast<double>(tag));
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Parity with the per-configuration harness -------------------------------
+
+TEST(Campaign, MatchesHarnessStatistics) {
+  const auto g = shared(graph::hypercube(6));
+  sim::CampaignConfig cfg;
+  cfg.id = "hc6_sync";
+  cfg.prebuilt = g;
+  cfg.trials = 64;
+  cfg.seed = 99;
+  cfg.reservoir_capacity = 64;  // retain all samples for the exact check
+
+  const auto results = sim::run_campaign({cfg}, {});
+  ASSERT_EQ(results.size(), 1u);
+  const auto& summary = results[0].summary;
+
+  sim::TrialConfig trial_config;
+  trial_config.trials = 64;
+  trial_config.seed = 99;
+  const auto exact = sim::measure_sync(*g, 0, core::Mode::kPushPull, trial_config);
+
+  EXPECT_EQ(summary.count(), exact.size());
+  EXPECT_NEAR(summary.mean(), exact.mean(), 1e-12 * exact.mean());
+  EXPECT_EQ(summary.min(), exact.min());
+  EXPECT_EQ(summary.max(), exact.max());
+  // 64 trials sit inside the sketch capacity: quantiles are exact.
+  EXPECT_EQ(summary.median(), exact.median());
+  EXPECT_EQ(summary.quantile(0.95), exact.quantile(0.95));
+
+  // A full-capacity reservoir, ordered by trial tag, is the per-trial
+  // result vector of the harness, bitwise.
+  sim::TrialConfig raw_config = trial_config;
+  const auto raw = sim::run_trials(raw_config, [&](std::uint64_t, rng::Engine& eng) {
+    return static_cast<double>(core::run_sync(*g, 0, eng).rounds);
+  });
+  EXPECT_EQ(summary.reservoir().values(), raw);
+}
+
+// --- Determinism contract ----------------------------------------------------
+
+TEST(Campaign, BitDeterministicAcrossThreadCounts) {
+  const auto configs = mixed_configs(48);
+  sim::CampaignOptions options;
+  options.block_size = 16;
+
+  options.threads = 1;
+  const auto serial = sim::run_campaign(configs, options);
+  options.threads = 2;
+  const auto two = sim::run_campaign(configs, options);
+  options.threads = 8;
+  const auto eight = sim::run_campaign(configs, options);
+
+  ASSERT_EQ(serial.size(), configs.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Block partials merge in slot order, so every statistic — including
+    // the sketch state behind the quantiles — is bit-identical.
+    EXPECT_EQ(fingerprint(serial[i]), fingerprint(two[i])) << serial[i].id;
+    EXPECT_EQ(fingerprint(serial[i]), fingerprint(eight[i])) << serial[i].id;
+  }
+}
+
+TEST(Campaign, PerTrialResultsBitIdenticalAcrossBlockSizes) {
+  // Full-capacity reservoirs recover exact (trial, value) pairs; those must
+  // not depend on block size, thread count, or interleaving.
+  const std::uint64_t trials = 48;
+  const auto configs = mixed_configs(trials, /*reservoir_capacity=*/trials);
+
+  std::vector<std::vector<std::vector<std::pair<std::uint64_t, double>>>> runs;
+  for (const std::uint64_t block_size : {4u, 16u, 64u}) {
+    sim::CampaignOptions options;
+    options.block_size = block_size;
+    options.threads = 8;
+    const auto results = sim::run_campaign(configs, options);
+    std::vector<std::vector<std::pair<std::uint64_t, double>>> entries;
+    entries.reserve(results.size());
+    for (const auto& r : results) entries.push_back(r.summary.reservoir().entries());
+    runs.push_back(std::move(entries));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+
+  // And they equal a serial harness re-run of each configuration.
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    for (const auto& [tag, value] : runs[0][c]) {
+      auto eng = rng::derive_stream(configs[c].seed, tag);
+      double expected = 0.0;
+      if (configs[c].engine == sim::EngineKind::kSync) {
+        expected = static_cast<double>(core::run_sync(*configs[c].prebuilt, 0, eng).rounds);
+      } else {
+        expected = core::run_async(*configs[c].prebuilt, 0, eng).time;
+      }
+      EXPECT_EQ(value, expected) << configs[c].id << " trial " << tag;
+    }
+  }
+}
+
+TEST(Campaign, MomentsStableAcrossBlockSizes) {
+  // Merged moments are associativity-sensitive at the ulp level only; the
+  // statistics must agree to far better than Monte-Carlo noise.
+  const auto configs = mixed_configs(60);
+  sim::CampaignOptions small_blocks;
+  small_blocks.block_size = 4;
+  sim::CampaignOptions big_blocks;
+  big_blocks.block_size = 60;
+  const auto a = sim::run_campaign(configs, small_blocks);
+  const auto b = sim::run_campaign(configs, big_blocks);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].summary.mean(), b[i].summary.mean(), 1e-9 * (1.0 + b[i].summary.mean()));
+    EXPECT_EQ(a[i].summary.min(), b[i].summary.min());
+    EXPECT_EQ(a[i].summary.max(), b[i].summary.max());
+  }
+}
+
+// --- Error handling ----------------------------------------------------------
+
+TEST(Campaign, PropagatesTrialFailures) {
+  // path(2) is connected, but a two-node path with an unreachable source
+  // cap is hard to provoke; instead use trials=0 (rejected up front) and an
+  // unknown family (thrown on the worker during lazy graph construction).
+  sim::CampaignConfig zero;
+  zero.prebuilt = shared(graph::complete(8));
+  zero.trials = 0;
+  EXPECT_THROW((void)sim::run_campaign({zero}, {}), std::runtime_error);
+
+  sim::CampaignConfig bad_family;
+  bad_family.graph.family = "no_such_family";
+  bad_family.graph.n = 16;
+  bad_family.trials = 4;
+  sim::CampaignOptions parallel_options;
+  parallel_options.threads = 4;
+  EXPECT_THROW((void)sim::run_campaign({bad_family}, parallel_options), std::runtime_error);
+}
+
+TEST(Campaign, RejectsOutOfRangeSource) {
+  // The engines only assert() source < n (compiled out in Release); the
+  // campaign must reject spec-supplied sources at runtime instead.
+  sim::CampaignConfig cfg;
+  cfg.graph.family = "star";
+  cfg.graph.n = 32;
+  cfg.source = 64;
+  cfg.trials = 4;
+  EXPECT_THROW((void)sim::run_campaign({cfg}, {}), std::runtime_error);
+}
+
+// --- build_graph -------------------------------------------------------------
+
+TEST(CampaignGraphSpec, BuildsEveryNamedFamily) {
+  for (const char* family :
+       {"complete", "star", "double_star", "path", "cycle", "wheel", "tree",
+        "complete_bipartite", "torus", "torus3d", "hypercube", "erdos_renyi",
+        "random_regular", "chung_lu", "preferential_attachment", "watts_strogatz"}) {
+    sim::GraphSpec spec;
+    spec.family = family;
+    spec.n = 64;
+    const auto g = sim::build_graph(spec, /*fallback_seed=*/11);
+    EXPECT_GE(g.num_nodes(), 2u) << family;
+    EXPECT_GE(g.num_edges(), g.num_nodes() - 1) << family;  // connected => n-1 edges minimum
+  }
+}
+
+TEST(CampaignGraphSpec, RejectsBadSpecs) {
+  sim::GraphSpec unknown;
+  unknown.family = "banana";
+  unknown.n = 16;
+  EXPECT_THROW((void)sim::build_graph(unknown, 1), std::runtime_error);
+
+  sim::GraphSpec tiny;
+  tiny.family = "complete";
+  tiny.n = 1;
+  EXPECT_THROW((void)sim::build_graph(tiny, 1), std::runtime_error);
+}
+
+TEST(CampaignGraphSpec, GraphSeedIsReproducible) {
+  sim::GraphSpec spec;
+  spec.family = "random_regular";
+  spec.n = 64;
+  spec.degree = 4;
+  spec.graph_seed = 77;
+  const auto a = sim::build_graph(spec, 1);
+  const auto b = sim::build_graph(spec, 2);  // fallback ignored: explicit seed wins
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.neighbors(v).size(), b.neighbors(v).size());
+  }
+}
+
+// --- Spec parsing ------------------------------------------------------------
+
+namespace {
+
+sim::CampaignSpec parse(const std::string& text) {
+  const auto doc = sim::Json::parse(text);
+  EXPECT_TRUE(doc.has_value()) << text;
+  return sim::parse_campaign_spec(*doc);
+}
+
+}  // namespace
+
+TEST(CampaignSpecParsing, ExpandsArraysAsCrossProduct) {
+  const auto spec = parse(R"({
+    "name": "sweep",
+    "defaults": {"trials": 10, "seed": 3, "mode": "push"},
+    "configs": [
+      {"graph": "star", "n": [64, 128, 256], "engine": ["sync", "async"]},
+      {"graph": "cycle", "n": 32, "mode": ["push", "pull", "push-pull"]}
+    ]})");
+  ASSERT_TRUE(spec.error.empty()) << spec.error;
+  EXPECT_EQ(spec.name, "sweep");
+  ASSERT_EQ(spec.configs.size(), 9u);  // 3 sizes x 2 engines + 3 modes
+  EXPECT_EQ(spec.configs[0].id, "star_n64_sync_push");
+  EXPECT_EQ(spec.configs[1].id, "star_n64_async_push");
+  EXPECT_EQ(spec.configs[0].trials, 10u);
+  EXPECT_EQ(spec.configs[0].seed, 3u);
+  EXPECT_EQ(spec.configs[8].mode, core::Mode::kPushPull);
+  EXPECT_EQ(spec.configs[8].id, "cycle_n32_sync_push-pull");
+}
+
+TEST(CampaignSpecParsing, ExplicitViewOverridesDefaultsView) {
+  const auto spec = parse(R"({
+    "defaults": {"view": "per-node", "engine": "async"},
+    "configs": [
+      {"graph": "star", "n": 32, "view": "global-clock"},
+      {"graph": "star", "n": 32}
+    ]})");
+  ASSERT_TRUE(spec.error.empty()) << spec.error;
+  ASSERT_EQ(spec.configs.size(), 2u);
+  EXPECT_EQ(spec.configs[0].view, core::AsyncView::kGlobalClock);
+  EXPECT_EQ(spec.configs[1].view, core::AsyncView::kPerNodeClocks);
+}
+
+TEST(CampaignSpecParsing, DuplicateIdsAreDisambiguated) {
+  const auto spec = parse(R"({"configs": [
+      {"graph": "star", "n": 64},
+      {"graph": "star", "n": 64, "seed": 9}
+    ]})");
+  ASSERT_TRUE(spec.error.empty()) << spec.error;
+  ASSERT_EQ(spec.configs.size(), 2u);
+  EXPECT_NE(spec.configs[0].id, spec.configs[1].id);
+}
+
+TEST(CampaignSpecParsing, RejectsMalformedSpecs) {
+  EXPECT_FALSE(parse(R"([1, 2])").error.empty());                    // not an object
+  EXPECT_FALSE(parse(R"({"configs": []})").error.empty());           // empty configs
+  EXPECT_FALSE(parse(R"({"configs": [{"n": 64}]})").error.empty());  // missing graph
+  EXPECT_FALSE(parse(R"({"configs": [{"graph": "star"}]})").error.empty());  // missing n
+  EXPECT_FALSE(
+      parse(R"({"configs": [{"graph": "star", "n": 64, "trails": 5}]})").error.empty());  // typo
+  EXPECT_FALSE(parse(R"({"configs": [{"graph": "star", "n": 64, "engine": "warp"}]})")
+                   .error.empty());  // unknown engine
+  EXPECT_FALSE(parse(R"({"configs": [{"graph": "star", "n": 1}]})").error.empty());  // n < 2
+}
+
+TEST(CampaignSpecParsing, RejectsNegativeAndFractionalCounts) {
+  // Negative doubles must never reach an unsigned cast (UB); fractional
+  // trial counts are almost certainly user error.
+  for (const char* bad : {R"({"configs": [{"graph": "star", "n": 64, "trials": -1}]})",
+                          R"({"configs": [{"graph": "star", "n": 64, "seed": -3}]})",
+                          R"({"configs": [{"graph": "star", "n": 64, "source": -1}]})",
+                          R"({"configs": [{"graph": "star", "n": 64, "trials": 2.5}]})",
+                          R"({"configs": [{"graph": "star", "n": 64, "hp_q": 1.5}]})",
+                          R"({"configs": [{"graph": "star", "n": 64, "p": -0.2}]})"}) {
+    EXPECT_FALSE(parse(bad).error.empty()) << bad;
+  }
+}
+
+TEST(CampaignSpecParsing, RejectsUnknownAndMisplacedDefaultsKeys) {
+  // The typo protection config entries get must cover shared values too.
+  EXPECT_FALSE(parse(R"({"defaults": {"trails": 1000},
+                         "configs": [{"graph": "star", "n": 64}]})").error.empty());
+  EXPECT_FALSE(parse(R"({"defaults": {"graph": "star"},
+                         "configs": [{"graph": "star", "n": 64}]})").error.empty());
+  // A non-string id is an error on the entry it appears in.
+  const auto spec = parse(R"({"configs": [{"graph": "star", "n": 64, "id": 7}]})");
+  EXPECT_NE(spec.error.find("configs[0]"), std::string::npos) << spec.error;
+}
+
+// --- Scale: a thousand configurations under fixed memory ---------------------
+
+TEST(CampaignScale, ThousandConfigurationsReduceToConstantSizeSummaries) {
+  // 1000 configurations x 2 trials on small graphs. The point is not the
+  // statistics but the mechanics: one shared queue schedules every block,
+  // each configuration's graph is built lazily and freed on completion, and
+  // what survives is ~1000 constant-size summaries (reservoir <= capacity,
+  // sketch buffers bounded) rather than 1000 sample vectors.
+  const char* families[] = {"path", "star", "cycle", "complete"};
+  std::vector<sim::CampaignConfig> configs;
+  configs.reserve(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    sim::CampaignConfig cfg;
+    cfg.graph.family = families[i % 4];
+    cfg.graph.n = 8 + (i % 25);
+    cfg.engine = (i % 8 == 7) ? sim::EngineKind::kAsync : sim::EngineKind::kSync;
+    cfg.trials = 2;
+    cfg.seed = 1 + i;
+    configs.push_back(std::move(cfg));
+  }
+  sim::CampaignOptions options;
+  options.threads = 4;
+  options.block_size = 1;
+  options.reservoir_capacity = 16;
+  const auto results = sim::run_campaign(configs, options);
+  ASSERT_EQ(results.size(), 1000u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.summary.count(), 2u);
+    EXPECT_GT(r.summary.mean(), 0.0);
+    EXPECT_LE(r.summary.reservoir().size(), 16u);
+    EXPECT_LE(r.summary.sketch().stored(), 2u);
+    EXPECT_GE(r.n, 8u);
+  }
+}
+
+// --- Report schema -----------------------------------------------------------
+
+TEST(CampaignReport, EmitsEstablishedSchema) {
+  auto configs = mixed_configs(16);
+  configs.resize(1);
+  const auto results = sim::run_campaign(configs, {});
+  const sim::Json report = sim::campaign_report(results[0], "unit");
+  EXPECT_EQ(report.find("experiment")->as_string(), "unit/" + results[0].id);
+  for (const char* key : {"params", "rows", "stats", "notes"}) {
+    EXPECT_NE(report.find(key), nullptr) << key;
+  }
+  const sim::Json* rows = report.find("rows");
+  ASSERT_TRUE(rows->is_array());
+  ASSERT_EQ(rows->size(), 1u);
+  for (const char* key : {"graph", "n", "trials", "mean", "stddev", "stderr", "min", "max",
+                          "median", "p95", "hp_time", "mean_ci_lower", "mean_ci_upper"}) {
+    EXPECT_NE(rows->elements()[0].find(key), nullptr) << key;
+  }
+  // The report must round-trip through the JSON layer (CI consumers parse it).
+  EXPECT_TRUE(sim::Json::parse(report.dump(2)).has_value());
+}

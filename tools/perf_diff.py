@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff a rumor_bench report against a baseline.
+
+Compares the e9_micro ns_per_op columns of a freshly produced
+``rumor_bench --all --json --out BENCH_pr.json`` report against a
+checked-in baseline (bench/BASELINE_e9.json) and fails when any primitive
+slowed down by more than the tolerance factor.
+
+The baseline was recorded on one particular machine and CI runners differ,
+so the default tolerance is deliberately loose (5x): this gate catches
+catastrophic regressions (an accidentally quadratic inner loop, a dropped
+compiler flag), not single-digit-percent drift. Tighten --tolerance when
+baseline and runner hardware match.
+
+Usage:
+  perf_diff.py BENCH_pr.json bench/BASELINE_e9.json [--tolerance 5.0]
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_e9_rows(path):
+    """Returns {primitive: ns_per_op} from a report file.
+
+    Accepts either a single e9_micro report object or an array of reports
+    (the --all shape), in the stable schema of sim/experiment.hpp.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    reports = doc if isinstance(doc, list) else [doc]
+    for report in reports:
+        if report.get("experiment") == "e9_micro":
+            return {
+                row["primitive"]: float(row["ns_per_op"])
+                for row in report.get("rows", [])
+            }
+    raise KeyError(f"{path}: no e9_micro report found")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh report (BENCH_pr.json)")
+    parser.add_argument("baseline", help="checked-in baseline report")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=5.0,
+        help="max allowed ns_per_op ratio current/baseline (default: 5.0)",
+    )
+    args = parser.parse_args()
+
+    try:
+        current = load_e9_rows(args.current)
+        baseline = load_e9_rows(args.baseline)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"perf_diff: {err}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(name) for name in baseline) if baseline else 0
+    print(f"{'primitive':<{width}}  {'base ns':>10}  {'pr ns':>10}  ratio")
+    for name, base_ns in sorted(baseline.items()):
+        if name not in current:
+            print(f"{name:<{width}}  {base_ns:>10.2f}  {'MISSING':>10}  -")
+            regressions.append((name, "missing from current report"))
+            continue
+        cur_ns = current[name]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        flag = " REGRESSION" if ratio > args.tolerance else ""
+        print(f"{name:<{width}}  {base_ns:>10.2f}  {cur_ns:>10.2f}  {ratio:5.2f}x{flag}")
+        if ratio > args.tolerance:
+            regressions.append((name, f"{ratio:.2f}x > {args.tolerance:.2f}x"))
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}}  {'NEW':>10}  {current[name]:>10.2f}  -")
+
+    if regressions:
+        print(
+            f"\nperf_diff: {len(regressions)} primitive(s) regressed beyond "
+            f"{args.tolerance:.2f}x:",
+            file=sys.stderr,
+        )
+        for name, why in regressions:
+            print(f"  {name}: {why}", file=sys.stderr)
+        return 1
+    print(f"\nperf_diff: all {len(baseline)} primitives within {args.tolerance:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
