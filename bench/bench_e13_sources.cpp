@@ -1,63 +1,118 @@
 // E13: source-placement sensitivity — making "for any vertex u" honest.
 //
 // Both theorems quantify over the source. This bench races sources per
-// family (two-stage screen + refine, sim/adversary.hpp) and reports the
-// worst and best source means for both models, plus the Theorem 1 ratio
-// evaluated *at the worst async source* — the adversarial configuration.
-// Expected shape: source choice moves constants (tail tips, peripheral
-// leaves) but never the asymptotics; the Theorem 1 ratio stays bounded
-// even when the adversary picks the source.
-#include <algorithm>
+// family (two-stage screen + refine) and reports the worst and best source
+// means for both models, plus the Theorem 1 ratio evaluated *at the worst
+// async source* — the adversarial configuration. Expected shape: source
+// choice moves constants (tail tips, peripheral leaves) but never the
+// asymptotics; the Theorem 1 ratio stays bounded even when the adversary
+// picks the source.
+//
+// Runs on the campaign scheduler's SourcePolicy::kRace: every graph's sync
+// and async races share one trial-block queue (screen and refine passes
+// are scheduled as blocks, interleaving across graphs), followed by a
+// second campaign measuring both models at the raced async-worst source.
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/rumor.hpp"
-#include "sim/adversary.hpp"
+#include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
-#include "sim/harness.hpp"
 
 namespace {
 
 using namespace rumor;
 
 sim::Json run(const sim::ExperimentContext& ctx) {
-  rng::Engine gen_eng = rng::derive_stream(13001, 0);
+  std::vector<std::shared_ptr<const graph::Graph>> graphs;
+  std::size_t graph_index = 0;
+  // Per-graph derived streams, so every topology is seed-identical
+  // regardless of list order.
+  auto keep = [&](auto make) {
+    rng::Engine gen_eng = rng::derive_stream(13001, graph_index++);
+    graphs.push_back(std::make_shared<const graph::Graph>(make(gen_eng)));
+  };
+  keep([](rng::Engine&) { return graph::star(512); });
+  keep([](rng::Engine&) { return graph::lollipop(64, 64); });
+  keep([](rng::Engine&) { return graph::barbell(48, 16); });
+  keep([](rng::Engine&) { return graph::hypercube(9); });
+  keep([](rng::Engine& eng) { return graph::preferential_attachment(512, 3, eng); });
+  keep([](rng::Engine&) { return graph::bundle_chain(12, 36); });
 
-  std::vector<graph::Graph> graphs;
-  graphs.push_back(graph::star(512));
-  graphs.push_back(graph::lollipop(64, 64));
-  graphs.push_back(graph::barbell(48, 16));
-  graphs.push_back(graph::hypercube(9));
-  graphs.push_back(graph::preferential_attachment(512, 3, gen_eng));
-  graphs.push_back(graph::bundle_chain(12, 36));
-
-  sim::WorstSourceOptions opts;
+  sim::SourceRaceOptions race;
   // A --trials override bounds the racing passes too (screen at ~1/10th),
   // so the documented fast-run knob caps this experiment's runtime as well.
-  opts.screen_trials = ctx.options().trials != 0
+  race.screen_trials = ctx.options().trials != 0
                            ? std::max<std::uint64_t>(1, ctx.options().trials / 10)
                            : 10 * ctx.scale();
-  opts.final_trials = ctx.trials(100);
-  opts.max_candidates = 48;
+  race.final_trials = ctx.trials(100);
+  race.max_candidates = 48;
+
+  // Campaign 1: race the worst source for both models on every graph.
+  std::vector<sim::CampaignConfig> races;
+  races.reserve(graphs.size() * 2);
+  for (const auto& g : graphs) {
+    for (const sim::EngineKind engine : {sim::EngineKind::kSync, sim::EngineKind::kAsync}) {
+      sim::CampaignConfig cell;
+      cell.id = g->name() + std::string("_") + sim::engine_name(engine) + "_race";
+      cell.prebuilt = g;
+      cell.engine = engine;
+      cell.mode = core::Mode::kPushPull;
+      cell.source_policy = sim::SourcePolicy::kRace;
+      cell.race = race;
+      cell.trials = race.final_trials;
+      cell.seed = 1;  // the adversary's historical default stream family
+      races.push_back(std::move(cell));
+    }
+  }
+
+  sim::CampaignOptions campaign_options;
+  campaign_options.threads = ctx.options().threads;
+  const auto raced = sim::run_campaign(races, campaign_options);
+
+  // Campaign 2: the Theorem 1 ratio at each graph's adversarial
+  // (async-worst) source.
+  const auto config = ctx.trial_config(200, 13002);
+  std::vector<sim::CampaignConfig> at_worst;
+  at_worst.reserve(graphs.size() * 2);
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const graph::NodeId adversarial = raced[gi * 2 + 1].source;  // async race
+    for (const sim::EngineKind engine : {sim::EngineKind::kSync, sim::EngineKind::kAsync}) {
+      sim::CampaignConfig cell;
+      cell.id = graphs[gi]->name() + std::string("_") + sim::engine_name(engine) + "_at_worst";
+      cell.prebuilt = graphs[gi];
+      cell.engine = engine;
+      cell.mode = core::Mode::kPushPull;
+      cell.source = adversarial;
+      cell.trials = config.trials;
+      cell.seed = config.seed;
+      at_worst.push_back(std::move(cell));
+    }
+  }
+  sim::CampaignOptions at_worst_options = campaign_options;
+  // The ratio reads the 0.99 quantile; keep it exact.
+  at_worst_options.sketch_capacity =
+      std::max<std::size_t>(at_worst_options.sketch_capacity, config.trials);
+  const auto measured = sim::run_campaign(at_worst, at_worst_options);
 
   sim::Json rows = sim::Json::array();
-  for (const auto& g : graphs) {
-    const auto sync = sim::find_worst_source_sync(g, core::Mode::kPushPull, opts);
-    const auto async = sim::find_worst_source_async(g, core::Mode::kPushPull, opts);
-    // Theorem 1 ratio at the adversarial (async-worst) source.
-    const auto config = ctx.trial_config(200, 13002);
-    const auto sync_at = sim::measure_sync(g, async.source, core::Mode::kPushPull, config);
-    const auto async_at = sim::measure_async(g, async.source, core::Mode::kPushPull, config);
-    const double ln_n = std::log(static_cast<double>(g.num_nodes()));
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const auto& sync_race = raced[gi * 2];
+    const auto& async_race = raced[gi * 2 + 1];
+    const auto& sync_at = measured[gi * 2].summary;
+    const auto& async_at = measured[gi * 2 + 1].summary;
+    const double ln_n = std::log(static_cast<double>(sync_race.n));
     sim::Json row = sim::Json::object();
-    row.set("graph", g.name());
-    row.set("n", g.num_nodes());
-    row.set("sync_worst_mean", sync.mean_time);
-    row.set("sync_worst_source", sync.source);
-    row.set("sync_best_mean", sync.best_mean_time);
-    row.set("async_worst_mean", async.mean_time);
-    row.set("async_worst_source", async.source);
-    row.set("async_best_mean", async.best_mean_time);
+    row.set("graph", sync_race.graph_name);
+    row.set("n", sync_race.n);
+    row.set("sync_worst_mean", sync_race.summary.mean());
+    row.set("sync_worst_source", sync_race.source);
+    row.set("sync_best_mean", sync_race.best_mean);
+    row.set("async_worst_mean", async_race.summary.mean());
+    row.set("async_worst_source", async_race.source);
+    row.set("async_best_mean", async_race.best_mean);
     row.set("thm1_ratio_at_worst", async_at.quantile(0.99) / (sync_at.quantile(0.99) + ln_n));
     rows.push_back(std::move(row));
   }
@@ -75,7 +130,7 @@ const sim::ExperimentRegistrar kRegistrar{{
     .name = "e13_sources",
     .title = "worst-case vs best-case sources",
     .claim = "worst/best spread is a constant factor; thm1 ratio bounded at the worst source.",
-    .defaults = "trials=200 seed=13002 (adversary final_trials=100)",
+    .defaults = "trials=200 seed=13002 (race final_trials=100), campaign-scheduled",
     .run = run,
 }};
 

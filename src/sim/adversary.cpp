@@ -1,88 +1,58 @@
 #include "sim/adversary.hpp"
 
-#include <algorithm>
 #include <cassert>
-#include <numeric>
-#include <vector>
+#include <memory>
+
+#include "sim/campaign.hpp"
 
 namespace rumor::sim {
 
 namespace {
 
-/// Degree-stratified candidate list: sort nodes by degree and take every
-/// k-th, guaranteeing the extremes are included. Spreading-time extremes
-/// correlate strongly with degree (peripheral low-degree nodes are slow
-/// sources), so stratification loses little versus screening everything.
-std::vector<NodeId> candidate_sources(const Graph& g, std::uint32_t max_candidates) {
-  const NodeId n = g.num_nodes();
-  std::vector<NodeId> order(n);
-  std::iota(order.begin(), order.end(), NodeId{0});
-  if (max_candidates == 0 || n <= max_candidates) return order;
-  std::sort(order.begin(), order.end(),
-            [&](NodeId a, NodeId b) { return g.degree(a) < g.degree(b); });
-  std::vector<NodeId> picked;
-  picked.reserve(max_candidates);
-  const double stride = static_cast<double>(n - 1) / (max_candidates - 1);
-  for (std::uint32_t i = 0; i < max_candidates; ++i) {
-    picked.push_back(order[static_cast<std::size_t>(i * stride)]);
-  }
-  return picked;
-}
-
-template <class MeasureFn>
-WorstSourceResult race(const Graph& g, const WorstSourceOptions& options, MeasureFn measure) {
+/// Both searches are one-configuration race campaigns: the screen and
+/// refine passes run as trial blocks on a campaign queue, which makes the
+/// raced source and its refined statistics bit-identical for any thread
+/// count — and identical to what `rumor_bench --campaign` reports for a
+/// `source: "race"` configuration with the same parameters (verified in
+/// tests/test_campaign.cpp).
+WorstSourceResult race(const Graph& g, EngineKind engine, core::Mode mode,
+                       const WorstSourceOptions& options) {
   assert(g.num_nodes() >= 2);
-  const auto candidates = candidate_sources(g, options.max_candidates);
+  CampaignConfig cfg;
+  cfg.id = "race";
+  // Non-owning alias: the campaign only reads the graph for the duration of
+  // the (synchronous) run_campaign call, which the caller's reference outlives.
+  cfg.prebuilt = std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g);
+  cfg.engine = engine;
+  cfg.mode = mode;
+  cfg.source_policy = SourcePolicy::kRace;
+  cfg.race.screen_trials = options.screen_trials;
+  cfg.race.finalists = options.finalists;
+  cfg.race.final_trials = options.final_trials;
+  cfg.race.max_candidates = options.max_candidates;
+  cfg.seed = options.seed;
+  cfg.trials = options.final_trials;
 
-  // Stage 1: screen every candidate cheaply.
-  std::vector<std::pair<double, NodeId>> screened;
-  screened.reserve(candidates.size());
-  for (NodeId u : candidates) {
-    screened.emplace_back(measure(u, options.screen_trials, options.seed), u);
-  }
-  std::sort(screened.begin(), screened.end(), std::greater<>());
-
-  // Stage 2: refine the leaders with a full measurement.
-  const std::uint32_t finalists =
-      std::min<std::uint32_t>(options.finalists, static_cast<std::uint32_t>(screened.size()));
-  WorstSourceResult result;
-  bool first = true;
-  for (std::uint32_t i = 0; i < finalists; ++i) {
-    const NodeId u = screened[i].second;
-    const double mean = measure(u, options.final_trials, options.seed + 1);
-    if (first || mean > result.mean_time) {
-      result.source = u;
-      result.mean_time = mean;
-    }
-    if (first || mean < result.best_mean_time) {
-      result.best_source = u;
-      result.best_mean_time = mean;
-    }
-    first = false;
-  }
-  return result;
+  const auto results = run_campaign({cfg}, {});
+  const CampaignResult& r = results.front();
+  WorstSourceResult out;
+  out.source = r.source;
+  out.mean_time = r.summary.mean();
+  out.best_source = r.best_source;
+  out.best_mean_time = r.best_mean;
+  return out;
 }
 
 }  // namespace
 
 WorstSourceResult find_worst_source_sync(const Graph& g, core::Mode mode,
                                          const WorstSourceOptions& options) {
-  return race(g, options, [&](NodeId u, std::uint64_t trials, std::uint64_t seed) {
-    TrialConfig config;
-    config.trials = trials;
-    config.seed = seed + 0x9e3779b9ULL * u;  // per-source stream family
-    return measure_sync(g, u, mode, config).mean();
-  });
+  return race(g, EngineKind::kSync, mode, options);
 }
 
 WorstSourceResult find_worst_source_async(const Graph& g, core::Mode mode,
                                           const WorstSourceOptions& options) {
-  return race(g, options, [&](NodeId u, std::uint64_t trials, std::uint64_t seed) {
-    TrialConfig config;
-    config.trials = trials;
-    config.seed = seed + 0x9e3779b9ULL * u;
-    return measure_async(g, u, mode, config).mean();
-  });
+  return race(g, EngineKind::kAsync, mode, options);
 }
 
 }  // namespace rumor::sim

@@ -7,6 +7,13 @@
 // full measurement — the standard two-stage racing scheme. Benches use it
 // to make "for all u" claims honest; E13 reports how much the source
 // placement actually matters per family.
+//
+// Implementation: both entry points are thin wrappers over a single
+// SourcePolicy::kRace campaign configuration (sim/campaign.hpp), so the
+// screen and refine passes run as trial blocks on a shared worker queue
+// and the raced source is bit-deterministic across thread counts —
+// identical to what `rumor_bench --campaign` reports for a
+// `source: "race"` configuration with the same parameters.
 #pragma once
 
 #include <cstdint>

@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <limits>
 #include <map>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "core/quasirandom.hpp"
 #include "graph/generators.hpp"
 #include "rng/rng.hpp"
 #include "sim/experiment.hpp"
@@ -89,14 +93,16 @@ Graph build_graph(const GraphSpec& spec, std::uint64_t fallback_seed) {
 
 namespace {
 
-/// One execution of the configured protocol; the campaign analogue of the
-/// measure_* wrappers in harness.cpp.
-double run_one(const CampaignConfig& cfg, const Graph& g, rng::Engine& eng) {
+/// One execution of the configured protocol from `source`; the campaign
+/// analogue of the measure_* wrappers in harness.cpp.
+double run_one(const CampaignConfig& cfg, const Graph& g, graph::NodeId source,
+               rng::Engine& eng) {
   switch (cfg.engine) {
     case EngineKind::kSync: {
       core::SyncOptions options;
       options.mode = cfg.mode;
-      const auto result = core::run_sync(g, cfg.source, eng, options);
+      options.message_loss = cfg.message_loss;
+      const auto result = core::run_sync(g, source, eng, options);
       if (!result.completed) {
         throw std::runtime_error("campaign: run_sync hit the round cap (disconnected graph?)");
       }
@@ -106,7 +112,8 @@ double run_one(const CampaignConfig& cfg, const Graph& g, rng::Engine& eng) {
       core::AsyncOptions options;
       options.mode = cfg.mode;
       options.view = cfg.view;
-      const auto result = core::run_async(g, cfg.source, eng, options);
+      options.message_loss = cfg.message_loss;
+      const auto result = core::run_async(g, source, eng, options);
       if (!result.completed) {
         throw std::runtime_error("campaign: run_async hit the step cap (disconnected graph?)");
       }
@@ -115,9 +122,19 @@ double run_one(const CampaignConfig& cfg, const Graph& g, rng::Engine& eng) {
     case EngineKind::kAux: {
       core::AuxOptions options;
       options.kind = cfg.aux;
-      const auto result = core::run_aux(g, cfg.source, eng, options);
+      const auto result = core::run_aux(g, source, eng, options);
       if (!result.completed) {
         throw std::runtime_error("campaign: run_aux hit the round cap (disconnected graph?)");
+      }
+      return static_cast<double>(result.rounds);
+    }
+    case EngineKind::kQuasirandom: {
+      core::QuasirandomOptions options;
+      options.mode = cfg.mode;
+      const auto result = core::run_quasirandom(g, source, eng, options);
+      if (!result.completed) {
+        throw std::runtime_error(
+            "campaign: run_quasirandom hit the round cap (disconnected graph?)");
       }
       return static_cast<double>(result.rounds);
     }
@@ -125,23 +142,134 @@ double run_one(const CampaignConfig& cfg, const Graph& g, rng::Engine& eng) {
   throw std::runtime_error("campaign: unknown engine kind");
 }
 
+/// The per-source stream family of the two-stage race (kept identical to
+/// the historical sim/adversary scheme): candidate u's screening trial t
+/// runs on derive_stream(seed + kSourceStride * u, t) and its refinement
+/// trial on derive_stream(seed + 1 + kSourceStride * u, t).
+constexpr std::uint64_t kSourceStride = 0x9e3779b9ULL;
+
+/// What a scheduled block does. Fixed-source configurations only ever see
+/// kTrials blocks. A race configuration starts as a single kPlan block
+/// (build the graph, pick candidates, enqueue the screen pass); the last
+/// kScreen block enqueues the refine pass; the last kRefine block picks the
+/// worst source and publishes the result.
+enum class BlockKind : std::uint8_t { kTrials, kPlan, kScreen, kRefine };
+
 struct Block {
-  std::size_t config = 0;  // index into `configs`
+  std::size_t config = 0;   // index into `configs`
+  BlockKind kind = BlockKind::kTrials;
+  std::uint32_t entrant = 0;  // candidate (kScreen) / finalist (kRefine) index
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
-  std::size_t slot = 0;    // block ordinal within its configuration
+  std::size_t slot = 0;     // block ordinal within its (config, phase, entrant)
 };
+
+/// Degree-stratified candidate list: sort nodes by degree and take every
+/// k-th, guaranteeing the extremes are included. Spreading-time extremes
+/// correlate strongly with degree (peripheral low-degree nodes are slow
+/// sources), so stratification loses little versus screening everything.
+std::vector<graph::NodeId> candidate_sources(const Graph& g, std::uint32_t max_candidates) {
+  const graph::NodeId n = g.num_nodes();
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), graph::NodeId{0});
+  if (max_candidates == 0 || n <= max_candidates) return order;
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) { return g.degree(a) < g.degree(b); });
+  // A single-candidate race keeps the min-degree node (the best worst-source
+  // guess); it also keeps the stride below finite.
+  if (max_candidates == 1) return {order.front()};
+  std::vector<graph::NodeId> picked;
+  picked.reserve(max_candidates);
+  const double stride = static_cast<double>(n - 1) / (max_candidates - 1);
+  for (std::uint32_t i = 0; i < max_candidates; ++i) {
+    picked.push_back(order[static_cast<std::size_t>(i * stride)]);
+  }
+  return picked;
+}
 
 /// Mutable per-configuration scheduling state. Partials are indexed by
 /// block slot and merged in slot order by whichever worker finishes the
-/// configuration's last block — a fixed-order reduction tree, so the final
+/// last block of a pass — a fixed-order reduction tree, so the final
 /// summary does not depend on completion order or thread count.
 struct ConfigState {
   std::once_flag build_once;
   std::shared_ptr<const Graph> graph;
+  // Fixed-source pass (also the refine pass reuses refine_* below).
   std::vector<stats::StreamingSummary> partials;
   std::atomic<std::uint64_t> blocks_left{0};
+  // Race state, populated by the kPlan block.
+  std::vector<graph::NodeId> candidates;
+  std::vector<std::vector<stats::RunningMoments>> screen_partials;  // [candidate][slot]
+  std::atomic<std::uint64_t> screen_left{0};
+  std::vector<graph::NodeId> finalists;
+  std::vector<std::vector<stats::StreamingSummary>> refine_partials;  // [finalist][slot]
+  std::atomic<std::uint64_t> refine_left{0};
 };
+
+/// The shared work queue. Unlike a fixed block list with an atomic cursor,
+/// race configurations *append* blocks while the campaign runs (screen
+/// after plan, refine after screen), so the queue tracks how many pushed
+/// blocks have not finished yet: workers exit when the queue is empty AND
+/// nothing is in flight (an in-flight block may still push successors).
+class BlockQueue {
+ public:
+  void push(std::vector<Block> blocks) {
+    {
+      const std::scoped_lock lock(mutex_);
+      outstanding_ += blocks.size();
+      for (Block& b : blocks) queue_.push_back(b);
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until work is available or the campaign is finished/aborted.
+  /// Returns false when the worker should exit.
+  bool pop(Block& out) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return aborted_ || !queue_.empty() || outstanding_ == 0; });
+    if (aborted_ || queue_.empty()) return false;
+    out = queue_.front();
+    queue_.pop_front();
+    return true;
+  }
+
+  /// Marks one popped block as finished (after any successor pushes).
+  void finish_one() {
+    bool drained = false;
+    {
+      const std::scoped_lock lock(mutex_);
+      drained = --outstanding_ == 0;
+    }
+    if (drained) cv_.notify_all();
+  }
+
+  void abort() {
+    {
+      const std::scoped_lock lock(mutex_);
+      aborted_ = true;
+      outstanding_ -= queue_.size();
+      queue_.clear();
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Block> queue_;
+  std::size_t outstanding_ = 0;  // queued + currently processing
+  bool aborted_ = false;
+};
+
+/// Splits `trials` into block_size'd slots appended as (kind, entrant)
+/// blocks for `config`.
+void plan_blocks(std::vector<Block>& out, std::size_t config, BlockKind kind,
+                 std::uint32_t entrant, std::uint64_t trials, std::uint64_t block_size) {
+  std::size_t slot = 0;
+  for (std::uint64_t begin = 0; begin < trials; begin += block_size) {
+    out.push_back(Block{config, kind, entrant, begin, std::min(begin + block_size, trials), slot++});
+  }
+}
 
 }  // namespace
 
@@ -149,41 +277,76 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
                                          const CampaignOptions& options) {
   const std::uint64_t block_size = std::max<std::uint64_t>(options.block_size, 1);
 
-  std::vector<Block> blocks;
+  std::vector<Block> initial;
   std::vector<ConfigState> states(configs.size());
   std::vector<CampaignResult> results(configs.size());
+  // For the worker-count heuristic only: a generous upper bound on how many
+  // blocks the campaign can ever schedule (race passes expand lazily).
+  std::size_t block_estimate = 0;
   for (std::size_t c = 0; c < configs.size(); ++c) {
     const CampaignConfig& cfg = configs[c];
     if (cfg.trials == 0) {
       throw std::runtime_error("campaign: configuration '" + cfg.id + "' has trials == 0");
     }
-    std::size_t slot = 0;
-    for (std::uint64_t begin = 0; begin < cfg.trials; begin += block_size) {
-      blocks.push_back(Block{c, begin, std::min(begin + block_size, cfg.trials), slot++});
-    }
-    states[c].partials.resize(slot);
-    states[c].blocks_left.store(slot, std::memory_order_relaxed);
-
     CampaignResult& r = results[c];
     r.id = !cfg.id.empty() ? cfg.id : "cfg" + std::to_string(c);
     r.engine = engine_name(cfg.engine);
     r.mode = core::mode_name(cfg.mode);
-    r.trials = cfg.trials;
     r.seed = cfg.seed;
-    r.hp_q = cfg.hp_q > 0.0 ? cfg.hp_q : 1.0 / static_cast<double>(cfg.trials);
+    r.source = cfg.source;
+    r.source_policy = cfg.source_policy;
+    if (cfg.source_policy == SourcePolicy::kRace) {
+      if (cfg.race.screen_trials == 0 || cfg.race.finalists == 0) {
+        throw std::runtime_error("campaign: race configuration '" + r.id +
+                                 "' needs screen_trials >= 1 and finalists >= 1");
+      }
+      const std::uint64_t final_trials =
+          cfg.race.final_trials != 0 ? cfg.race.final_trials : cfg.trials;
+      r.trials = final_trials;
+      r.hp_q = cfg.hp_q > 0.0 ? cfg.hp_q : 1.0 / static_cast<double>(final_trials);
+      initial.push_back(Block{c, BlockKind::kPlan, 0, 0, 0, 0});
+      const std::size_t cand_bound = cfg.race.max_candidates != 0
+                                         ? cfg.race.max_candidates
+                                         : (cfg.prebuilt != nullptr ? cfg.prebuilt->num_nodes()
+                                                                    : cfg.graph.n);
+      block_estimate += 1 + cand_bound * (cfg.race.screen_trials / block_size + 1) +
+                        cfg.race.finalists * (final_trials / block_size + 1);
+    } else {
+      r.trials = cfg.trials;
+      r.hp_q = cfg.hp_q > 0.0 ? cfg.hp_q : 1.0 / static_cast<double>(cfg.trials);
+      const std::size_t before = initial.size();
+      plan_blocks(initial, c, BlockKind::kTrials, 0, cfg.trials, block_size);
+      const std::size_t slots = initial.size() - before;
+      states[c].partials.resize(slots);
+      states[c].blocks_left.store(slots, std::memory_order_relaxed);
+      block_estimate += slots;
+    }
   }
 
   unsigned workers = options.threads != 0 ? options.threads : std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
-  workers = static_cast<unsigned>(std::min<std::size_t>(workers, blocks.size()));
+  workers = static_cast<unsigned>(std::min<std::size_t>(workers, block_estimate));
 
-  std::atomic<std::size_t> next{0};
+  BlockQueue queue;
   std::exception_ptr error;
   std::mutex error_mutex;
 
-  auto process_block = [&](const Block& block) {
-    const CampaignConfig& cfg = configs[block.config];
-    ConfigState& st = states[block.config];
+  auto summary_options_for = [&](const CampaignConfig& cfg) {
+    stats::StreamingSummary::Options summary_options;
+    summary_options.sketch_capacity = options.sketch_capacity;
+    summary_options.reservoir_capacity =
+        cfg.reservoir_capacity != 0 ? cfg.reservoir_capacity : options.reservoir_capacity;
+    summary_options.reservoir_salt = cfg.seed;
+    return summary_options;
+  };
+
+  auto resolved_final_trials = [](const CampaignConfig& cfg) {
+    return cfg.race.final_trials != 0 ? cfg.race.final_trials : cfg.trials;
+  };
+
+  auto build_graph_once = [&](std::size_t c) {
+    const CampaignConfig& cfg = configs[c];
+    ConfigState& st = states[c];
     // Lazy one-shot graph construction on whichever worker gets there
     // first; prebuilt graphs are shared as-is. call_once re-runs on a later
     // caller if the builder throws, but the error capture below drains the
@@ -193,65 +356,176 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
                      ? cfg.prebuilt
                      : std::make_shared<const Graph>(build_graph(cfg.graph, cfg.seed));
     });
-    // The engines only assert() this precondition, which compiles out in
-    // Release — and spec-driven sources are user input, so check it here.
-    if (cfg.source >= st.graph->num_nodes()) {
-      throw std::runtime_error("campaign: configuration '" + results[block.config].id +
-                               "' source " + std::to_string(cfg.source) +
-                               " is out of range for " + st.graph->name());
-    }
+  };
 
-    stats::StreamingSummary::Options summary_options;
-    summary_options.sketch_capacity = options.sketch_capacity;
-    summary_options.reservoir_capacity =
-        cfg.reservoir_capacity != 0 ? cfg.reservoir_capacity : options.reservoir_capacity;
-    summary_options.reservoir_salt = cfg.seed;
-    stats::StreamingSummary partial(summary_options);
-    for (std::uint64_t t = block.begin; t < block.end; ++t) {
-      rng::Engine eng = rng::derive_stream(cfg.seed, t);
-      partial.add(run_one(cfg, *st.graph, eng), t);
-    }
-    st.partials[block.slot] = std::move(partial);
+  // Block bodies. Each may push successor blocks onto the queue; partials
+  // always land in their slot, and every cross-pass hand-off happens on the
+  // worker that decrements the pass counter to zero — a deterministic
+  // reduction no matter which threads ran which blocks.
+  auto process_block = [&](const Block& block) {
+    const CampaignConfig& cfg = configs[block.config];
+    ConfigState& st = states[block.config];
+    CampaignResult& r = results[block.config];
+    build_graph_once(block.config);
+    const Graph& g = *st.graph;
 
-    if (st.blocks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last block of this configuration: fold partials in slot order and
-      // release the graph and per-block state — from here on the
-      // configuration occupies only its constant-size summary.
-      stats::StreamingSummary total = std::move(st.partials.front());
-      for (std::size_t s = 1; s < st.partials.size(); ++s) total.merge(st.partials[s]);
-      CampaignResult& r = results[block.config];
-      r.graph_name = st.graph->name();
-      r.n = st.graph->num_nodes();
-      r.summary = std::move(total);
-      st.partials.clear();
-      st.partials.shrink_to_fit();
-      st.graph.reset();
+    switch (block.kind) {
+      case BlockKind::kTrials: {
+        // The engines only assert() this precondition, which compiles out in
+        // Release — and spec-driven sources are user input, so check it here.
+        if (cfg.source >= g.num_nodes()) {
+          throw std::runtime_error("campaign: configuration '" + r.id + "' source " +
+                                   std::to_string(cfg.source) + " is out of range for " +
+                                   g.name());
+        }
+        stats::StreamingSummary partial(summary_options_for(cfg));
+        for (std::uint64_t t = block.begin; t < block.end; ++t) {
+          rng::Engine eng = rng::derive_stream(cfg.seed, t);
+          partial.add(run_one(cfg, g, cfg.source, eng), t);
+        }
+        st.partials[block.slot] = std::move(partial);
+        if (st.blocks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Last block of this configuration: fold partials in slot order
+          // and release the graph and per-block state — from here on the
+          // configuration occupies only its constant-size summary.
+          stats::StreamingSummary total = std::move(st.partials.front());
+          for (std::size_t s = 1; s < st.partials.size(); ++s) total.merge(st.partials[s]);
+          r.graph_name = g.name();
+          r.n = g.num_nodes();
+          r.summary = std::move(total);
+          st.partials.clear();
+          st.partials.shrink_to_fit();
+          st.graph.reset();
+        }
+        break;
+      }
+      case BlockKind::kPlan: {
+        st.candidates = candidate_sources(g, cfg.race.max_candidates);
+        const std::uint32_t count = static_cast<std::uint32_t>(st.candidates.size());
+        st.screen_partials.assign(count, {});
+        std::vector<Block> screen;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::size_t before = screen.size();
+          plan_blocks(screen, block.config, BlockKind::kScreen, i, cfg.race.screen_trials,
+                      block_size);
+          st.screen_partials[i].resize(screen.size() - before);
+        }
+        st.screen_left.store(screen.size(), std::memory_order_relaxed);
+        queue.push(std::move(screen));
+        break;
+      }
+      case BlockKind::kScreen: {
+        const graph::NodeId u = st.candidates[block.entrant];
+        stats::RunningMoments partial;
+        const std::uint64_t stream_seed = cfg.seed + kSourceStride * u;
+        for (std::uint64_t t = block.begin; t < block.end; ++t) {
+          rng::Engine eng = rng::derive_stream(stream_seed, t);
+          partial.add(run_one(cfg, g, u, eng));
+        }
+        st.screen_partials[block.entrant][block.slot] = partial;
+        if (st.screen_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Screening complete: rank candidates by mean (descending, node id
+          // as the deterministic tie-break) and enqueue the refine pass for
+          // the leaders.
+          std::vector<std::pair<double, graph::NodeId>> screened;
+          screened.reserve(st.candidates.size());
+          for (std::size_t i = 0; i < st.candidates.size(); ++i) {
+            stats::RunningMoments total = st.screen_partials[i].front();
+            for (std::size_t s = 1; s < st.screen_partials[i].size(); ++s) {
+              total.merge(st.screen_partials[i][s]);
+            }
+            screened.emplace_back(total.mean(), st.candidates[i]);
+          }
+          std::sort(screened.begin(), screened.end(), std::greater<>());
+          const std::uint32_t finalists = std::min<std::uint32_t>(
+              cfg.race.finalists, static_cast<std::uint32_t>(screened.size()));
+          st.finalists.clear();
+          for (std::uint32_t i = 0; i < finalists; ++i) st.finalists.push_back(screened[i].second);
+          st.screen_partials.clear();
+          st.screen_partials.shrink_to_fit();
+
+          const std::uint64_t final_trials = resolved_final_trials(cfg);
+          st.refine_partials.assign(finalists, {});
+          std::vector<Block> refine;
+          for (std::uint32_t i = 0; i < finalists; ++i) {
+            const std::size_t before = refine.size();
+            plan_blocks(refine, block.config, BlockKind::kRefine, i, final_trials, block_size);
+            st.refine_partials[i].resize(refine.size() - before);
+          }
+          st.refine_left.store(refine.size(), std::memory_order_relaxed);
+          queue.push(std::move(refine));
+        }
+        break;
+      }
+      case BlockKind::kRefine: {
+        const graph::NodeId u = st.finalists[block.entrant];
+        stats::StreamingSummary partial(summary_options_for(cfg));
+        const std::uint64_t stream_seed = cfg.seed + 1 + kSourceStride * u;
+        for (std::uint64_t t = block.begin; t < block.end; ++t) {
+          rng::Engine eng = rng::derive_stream(stream_seed, t);
+          partial.add(run_one(cfg, g, u, eng), t);
+        }
+        st.refine_partials[block.entrant][block.slot] = std::move(partial);
+        if (st.refine_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Refinement complete: fold each finalist in slot order, keep the
+          // worst finalist's full summary as the configuration's result
+          // (first-seen wins ties, matching the historical adversary scan).
+          bool first = true;
+          for (std::size_t i = 0; i < st.finalists.size(); ++i) {
+            stats::StreamingSummary total = std::move(st.refine_partials[i].front());
+            for (std::size_t s = 1; s < st.refine_partials[i].size(); ++s) {
+              total.merge(st.refine_partials[i][s]);
+            }
+            const double mean = total.mean();
+            if (first || mean > r.summary.mean()) {
+              r.source = st.finalists[i];
+              r.summary = std::move(total);
+            }
+            if (first || mean < r.best_mean) {
+              r.best_source = st.finalists[i];
+              r.best_mean = mean;
+            }
+            first = false;
+          }
+          r.graph_name = g.name();
+          r.n = g.num_nodes();
+          st.refine_partials.clear();
+          st.refine_partials.shrink_to_fit();
+          st.finalists.clear();
+          st.candidates.clear();
+          st.graph.reset();
+        }
+        break;
+      }
+    }
+  };
+
+  queue.push(std::move(initial));
+
+  auto worker = [&] {
+    Block block;
+    while (queue.pop(block)) {
+      try {
+        process_block(block);
+      } catch (...) {
+        {
+          const std::scoped_lock lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        queue.abort();
+      }
+      queue.finish_one();
     }
   };
 
   if (workers <= 1) {
-    for (const Block& block : blocks) process_block(block);
-    return results;
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
   }
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
-      if (b >= blocks.size()) return;
-      try {
-        process_block(blocks[b]);
-      } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!error) error = std::current_exception();
-        next.store(blocks.size(), std::memory_order_relaxed);  // drain fast
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
   if (error) std::rethrow_exception(error);
   return results;
 }
@@ -299,6 +573,7 @@ bool parse_engine(const std::string& s, EngineKind& out) {
   if (s == "sync") out = EngineKind::kSync;
   else if (s == "async") out = EngineKind::kAsync;
   else if (s == "aux") out = EngineKind::kAux;
+  else if (s == "quasirandom") out = EngineKind::kQuasirandom;
   else return false;
   return true;
 }
@@ -329,6 +604,7 @@ constexpr const char* kKnownKeys[] = {
     "id",     "graph",  "n",    "p",       "degree", "beta",
     "average_degree", "graph_seed", "engine", "mode", "view", "aux",
     "source", "trials", "seed", "hp_q",    "reservoir_capacity",
+    "message_loss", "screen_trials", "finalists", "final_trials", "max_candidates",
 };
 
 }  // namespace
@@ -355,8 +631,37 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
   auto apply_scalars = [&error](const Json& obj, CampaignConfig& cfg) {
     cfg.trials = uint_or(obj, "trials", cfg.trials, error);
     cfg.seed = uint_or(obj, "seed", cfg.seed, error);
-    cfg.source = static_cast<graph::NodeId>(
-        uint_or(obj, "source", cfg.source, error));
+    // "source" is a node id (fixed policy) or the policy string "race" /
+    // "fixed"; anything else is a spec error.
+    if (const Json* src = obj.find("source"); src != nullptr) {
+      if (src->is_number()) {
+        const double v = src->as_number();
+        if (v < 0.0 || v != std::floor(v)) {
+          error = "key 'source' must be a non-negative integer node id or \"race\"";
+        } else {
+          cfg.source = static_cast<graph::NodeId>(v);
+          cfg.source_policy = SourcePolicy::kFixed;
+        }
+      } else if (src->is_string() && src->as_string() == "race") {
+        cfg.source_policy = SourcePolicy::kRace;
+      } else if (src->is_string() && src->as_string() == "fixed") {
+        cfg.source_policy = SourcePolicy::kFixed;
+      } else {
+        error = "key 'source' must be a non-negative integer node id, \"fixed\", or \"race\"";
+      }
+    }
+    cfg.race.screen_trials = uint_or(obj, "screen_trials", cfg.race.screen_trials, error);
+    if (cfg.race.screen_trials == 0) error = "key 'screen_trials' must be >= 1";
+    cfg.race.finalists = static_cast<std::uint32_t>(
+        uint_or(obj, "finalists", cfg.race.finalists, error));
+    if (cfg.race.finalists == 0) error = "key 'finalists' must be >= 1";
+    cfg.race.final_trials = uint_or(obj, "final_trials", cfg.race.final_trials, error);
+    cfg.race.max_candidates = static_cast<std::uint32_t>(
+        uint_or(obj, "max_candidates", cfg.race.max_candidates, error));
+    cfg.message_loss = number_or(obj, "message_loss", cfg.message_loss, error);
+    if (cfg.message_loss < 0.0 || cfg.message_loss >= 1.0) {
+      error = "key 'message_loss' must be in [0, 1)";
+    }
     cfg.hp_q = number_or(obj, "hp_q", cfg.hp_q, error);
     if (cfg.hp_q < 0.0 || cfg.hp_q >= 1.0) error = "key 'hp_q' must be in [0, 1)";
     cfg.reservoir_capacity =
@@ -485,6 +790,7 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
           if (id.empty()) {
             id = cfg.graph.family + "_n" + std::to_string(cfg.graph.n) + "_" +
                  engine_name(cfg.engine) + "_" + core::mode_name(cfg.mode);
+            if (cfg.source_policy == SourcePolicy::kRace) id += "_race";
           }
           const int use = id_uses[id]++;
           if (use > 0) id += "#" + std::to_string(use);
@@ -514,6 +820,7 @@ Json campaign_report(const CampaignResult& result, const std::string& campaign_n
   params.set("trials", result.trials);
   params.set("seed", result.seed);
   params.set("hp_q", result.hp_q);
+  params.set("source_policy", source_policy_name(result.source_policy));
   report.set("params", std::move(params));
 
   const auto ci = s.mean_ci();
@@ -539,6 +846,13 @@ Json campaign_report(const CampaignResult& result, const std::string& campaign_n
   stats.set("mean", s.mean());
   stats.set("stderr_mean", s.stderr_mean());
   stats.set("hp_time", s.hp_time(result.hp_q));
+  if (result.source_policy == SourcePolicy::kRace) {
+    // The summary above is the refined measurement of the worst source; the
+    // best finalist quantifies how much source placement matters.
+    stats.set("worst_source", result.source);
+    stats.set("best_source", result.best_source);
+    stats.set("best_mean", result.best_mean);
+  }
   report.set("stats", std::move(stats));
 
   report.set("notes",

@@ -39,16 +39,46 @@ namespace rumor::sim {
 class Json;  // experiment.hpp
 
 /// Which protocol engine a configuration runs.
-enum class EngineKind : std::uint8_t { kSync, kAsync, kAux };
+enum class EngineKind : std::uint8_t { kSync, kAsync, kAux, kQuasirandom };
 
 [[nodiscard]] constexpr const char* engine_name(EngineKind e) noexcept {
   switch (e) {
     case EngineKind::kSync: return "sync";
     case EngineKind::kAsync: return "async";
     case EngineKind::kAux: return "aux";
+    case EngineKind::kQuasirandom: return "quasirandom";
   }
   return "?";
 }
+
+/// How a configuration picks its source vertex.
+///
+/// kFixed measures from CampaignConfig::source. kRace estimates the
+/// *worst-case* source (the paper's "for any vertex u") with the two-stage
+/// racing scheme of sim/adversary.hpp — screen every candidate cheaply,
+/// refine the leaders — except that both passes are scheduled as trial
+/// blocks on the campaign's shared queue: racing shares workers with
+/// ordinary cells, and the raced source is bit-deterministic across thread
+/// counts because every per-candidate partial merges in slot order.
+enum class SourcePolicy : std::uint8_t { kFixed, kRace };
+
+[[nodiscard]] constexpr const char* source_policy_name(SourcePolicy p) noexcept {
+  return p == SourcePolicy::kRace ? "race" : "fixed";
+}
+
+/// Tuning for SourcePolicy::kRace (mirrors WorstSourceOptions, which
+/// sim/adversary.hpp now implements on top of this).
+struct SourceRaceOptions {
+  /// Trials per candidate in the screening pass.
+  std::uint64_t screen_trials = 10;
+  /// Candidates kept for the refinement pass.
+  std::uint32_t finalists = 4;
+  /// Trials per finalist in the refinement pass; 0 = the config's `trials`.
+  std::uint64_t final_trials = 0;
+  /// Screen at most this many candidate sources, stratified by degree
+  /// (always including min- and max-degree nodes). 0 = screen all nodes.
+  std::uint32_t max_candidates = 64;
+};
 
 /// A graph described by name, for campaigns built from a JSON spec. The
 /// generator runs lazily on a worker thread when the configuration's first
@@ -83,7 +113,12 @@ struct CampaignConfig {
   core::Mode mode = core::Mode::kPushPull;
   core::AsyncView view = core::AsyncView::kGlobalClock;
   core::AuxKind aux = core::AuxKind::kPpx;
-  graph::NodeId source = 0;
+  /// Per-contact loss probability (the e11 fault extension); thins sync and
+  /// async contacts identically. Ignored by aux/quasirandom engines.
+  double message_loss = 0.0;
+  graph::NodeId source = 0;  // measured source under SourcePolicy::kFixed
+  SourcePolicy source_policy = SourcePolicy::kFixed;
+  SourceRaceOptions race;  // used when source_policy == kRace
   std::uint64_t trials = 200;
   std::uint64_t seed = 1;  // trial t runs on derive_stream(seed, t)
   /// T_q tail probability reported as hp_time; 0 means 1/trials (the
@@ -106,21 +141,32 @@ struct CampaignOptions {
 
 /// One configuration's reduced result: identification plus the streaming
 /// summary. No per-trial vectors.
+///
+/// Under SourcePolicy::kRace the summary is the refined measurement of the
+/// *worst* source found; `source` names it and the best finalist is kept
+/// alongside so source-sensitivity reports (e13) can quote the spread.
 struct CampaignResult {
   std::string id;
   std::string graph_name;    // the built graph's own name
   std::uint64_t n = 0;       // actual node count of the built graph
-  std::string engine;        // "sync" / "async" / "aux"
+  std::string engine;        // "sync" / "async" / "aux" / "quasirandom"
   std::string mode;          // "push" / "pull" / "push-pull"
-  std::uint64_t trials = 0;
+  std::uint64_t trials = 0;  // refine trials per finalist under kRace
   std::uint64_t seed = 0;
   double hp_q = 0.0;         // resolved (never 0)
+  SourcePolicy source_policy = SourcePolicy::kFixed;
+  graph::NodeId source = 0;       // fixed source, or the raced worst source
+  graph::NodeId best_source = 0;  // kRace: best finalist
+  double best_mean = 0.0;         // kRace: its refined mean
   stats::StreamingSummary summary;
 };
 
 /// Runs every configuration's trials over one shared block queue. Results
-/// are ordered like `configs`. Throws the first trial/build exception after
-/// draining the pool (mirroring run_trials).
+/// are ordered like `configs`. Race configurations enqueue their screen and
+/// refine passes onto the same queue as they become ready, so adversary
+/// searches interleave with ordinary cells instead of serializing behind
+/// them. Throws the first trial/build exception after draining the pool
+/// (mirroring run_trials).
 [[nodiscard]] std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& configs,
                                                        const CampaignOptions& options = {});
 
@@ -133,11 +179,16 @@ struct CampaignResult {
 ///     "configs": [
 ///       { "graph": "star", "n": [256, 1024, 4096] },   // arrays expand
 ///       { "graph": "random_regular", "n": 512, "degree": 6,
-///         "engine": ["sync", "async"], "graph_seed": 42 } ] }
+///         "engine": ["sync", "async"], "graph_seed": 42 },
+///       { "graph": "star", "n": 512, "source": "race",  // worst-source race
+///         "screen_trials": 10, "finalists": 4 } ] }
 ///
 /// "n", "engine", and "mode" accept scalars or arrays; array-valued keys
 /// expand to their cross product, so a compact spec can describe thousands
-/// of configurations. See bench/README.md for the full key reference.
+/// of configurations. "source" is a node id (fixed policy) or the string
+/// "race" (worst-source racing, tuned by "screen_trials" / "finalists" /
+/// "final_trials" / "max_candidates"). See bench/README.md for the full
+/// key reference.
 struct CampaignSpec {
   std::string name;  // defaults to "campaign"
   std::vector<CampaignConfig> configs;

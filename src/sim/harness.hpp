@@ -1,4 +1,4 @@
-// rumor/sim: multi-threaded Monte-Carlo measurement harness.
+// rumor/sim: single-configuration Monte-Carlo measurement harness.
 //
 // The paper's quantities are distributional: E[T(alpha, G, u)] (Theorem 2)
 // and the high-probability time T_q(alpha, G, u) = min{t : Pr[T <= t] >=
@@ -10,6 +10,15 @@
 //     or scheduling;
 //   * trials are distributed over a worker pool via an atomic work index;
 //   * estimates carry bootstrap confidence intervals on request.
+//
+// Scope note: this is the *one-configuration* path — it materializes every
+// sample and drains its own thread pool, which is exactly right for the
+// structural benches (e3/e6/e7/e10/e12/e14) and the examples that study a
+// single graph in depth. Anything shaped like a sweep — many (graph,
+// engine, mode, source) cells — belongs on sim/campaign.hpp, which
+// schedules all cells over one shared block queue and reduces each to a
+// constant-size streaming summary; the former sweep experiments (e1, e2,
+// e4, e5, e8, e11, e13, e15) all run there.
 #pragma once
 
 #include <cstdint>

@@ -285,6 +285,31 @@ TEST(BenchCli, CampaignHonorsTrialsAndSeedOverrides) {
   std::remove(spec.c_str());
 }
 
+TEST(BenchCli, CampaignRaceCellReportsWorstSource) {
+  // The CI smoke path: a `source: "race"` cell must run through the real
+  // binary, report the race outcome in stats, and mark its params.
+  const std::string spec = write_spec("bench_cli_race.json", R"({
+    "name": "racetest",
+    "configs": [
+      {"graph": "star", "n": 48, "source": "race", "trials": 8,
+       "screen_trials": 4, "finalists": 2, "max_candidates": 8, "seed": 3}
+    ]})");
+  int status = 0;
+  const std::string out = run_bench("--campaign " + spec + " --json --threads 2", &status);
+  EXPECT_EQ(status, 0);
+  const auto parsed = sim::Json::parse(out);
+  ASSERT_TRUE(parsed.has_value()) << out;
+  EXPECT_EQ(parsed->find("experiment")->as_string(), "racetest/star_n48_sync_push-pull_race");
+  EXPECT_EQ(parsed->find("params")->find("source_policy")->as_string(), "race");
+  const sim::Json* stats = parsed->find("stats");
+  ASSERT_NE(stats, nullptr);
+  for (const char* key : {"worst_source", "best_source", "best_mean"}) {
+    ASSERT_NE(stats->find(key), nullptr) << key;
+  }
+  EXPECT_LT(stats->find("worst_source")->as_number(), 48.0);
+  std::remove(spec.c_str());
+}
+
 TEST(BenchCli, CampaignRejectsBadSpecs) {
   int status = 0;
   run_bench("--campaign /no/such/spec.json 2>/dev/null", &status);

@@ -13,6 +13,7 @@
 
 #include "core/rumor.hpp"
 #include "rng/rng.hpp"
+#include "sim/adversary.hpp"
 #include "sim/campaign.hpp"
 #include "sim/experiment.hpp"
 #include "sim/harness.hpp"
@@ -371,6 +372,174 @@ TEST(CampaignScale, ThousandConfigurationsReduceToConstantSizeSummaries) {
     EXPECT_LE(r.summary.sketch().stored(), 2u);
     EXPECT_GE(r.n, 8u);
   }
+}
+
+// --- Worst-source racing (SourcePolicy::kRace) -------------------------------
+
+namespace {
+
+/// A race configuration over a prebuilt graph, mirroring what
+/// find_worst_source_* builds internally.
+sim::CampaignConfig race_config(std::shared_ptr<const graph::Graph> g, sim::EngineKind engine,
+                                const sim::WorstSourceOptions& opts) {
+  sim::CampaignConfig cfg;
+  cfg.id = "race";
+  cfg.prebuilt = std::move(g);
+  cfg.engine = engine;
+  cfg.source_policy = sim::SourcePolicy::kRace;
+  cfg.race.screen_trials = opts.screen_trials;
+  cfg.race.finalists = opts.finalists;
+  cfg.race.final_trials = opts.final_trials;
+  cfg.race.max_candidates = opts.max_candidates;
+  cfg.seed = opts.seed;
+  cfg.trials = opts.final_trials;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(CampaignRace, MatchesFindWorstSourceOnStarAndLollipop) {
+  // The acceptance bar: a campaign `source: "race"` cell and a direct
+  // find_worst_source call must agree bit-for-bit — worst and best source
+  // ids, and their refined means to the last bit.
+  sim::WorstSourceOptions opts;
+  opts.screen_trials = 6;
+  opts.final_trials = 40;
+  opts.max_candidates = 24;
+  opts.seed = 17;
+  for (const auto& g : {shared(graph::star(96)), shared(graph::lollipop(24, 24))}) {
+    const auto direct = sim::find_worst_source_sync(*g, core::Mode::kPushPull, opts);
+    const auto results = sim::run_campaign({race_config(g, sim::EngineKind::kSync, opts)}, {});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].source, direct.source) << g->name();
+    EXPECT_EQ(results[0].summary.mean(), direct.mean_time) << g->name();
+    EXPECT_EQ(results[0].best_source, direct.best_source) << g->name();
+    EXPECT_EQ(results[0].best_mean, direct.best_mean_time) << g->name();
+    EXPECT_EQ(results[0].summary.count(), opts.final_trials);
+  }
+}
+
+TEST(CampaignRace, RacedSourceBitDeterministicAcrossThreadCounts) {
+  // The race's screen and refine passes are scheduled as blocks on the
+  // shared queue; per-candidate partials merge in slot order, so the raced
+  // source AND its refined summary are bit-identical at any thread count —
+  // even with ordinary fixed-source cells competing for the same workers.
+  static const auto kLollipop = shared(graph::lollipop(24, 24));
+  sim::WorstSourceOptions opts;
+  opts.screen_trials = 6;
+  opts.final_trials = 48;
+  opts.max_candidates = 16;
+  opts.seed = 5;
+
+  std::vector<sim::CampaignConfig> configs = mixed_configs(32);
+  configs.push_back(race_config(kLollipop, sim::EngineKind::kSync, opts));
+  configs.push_back(race_config(kLollipop, sim::EngineKind::kAsync, opts));
+
+  sim::CampaignOptions options;
+  options.block_size = 8;
+  options.threads = 1;
+  const auto serial = sim::run_campaign(configs, options);
+  options.threads = 2;
+  const auto two = sim::run_campaign(configs, options);
+  options.threads = 8;
+  const auto eight = sim::run_campaign(configs, options);
+
+  ASSERT_EQ(serial.size(), configs.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(fingerprint(serial[i]), fingerprint(two[i])) << serial[i].id;
+    EXPECT_EQ(fingerprint(serial[i]), fingerprint(eight[i])) << serial[i].id;
+    EXPECT_EQ(serial[i].source, two[i].source) << serial[i].id;
+    EXPECT_EQ(serial[i].source, eight[i].source) << serial[i].id;
+    EXPECT_EQ(serial[i].best_source, eight[i].best_source) << serial[i].id;
+    EXPECT_EQ(serial[i].best_mean, eight[i].best_mean) << serial[i].id;
+  }
+  // The race actually raced: worst >= best, and on the lollipop the worst
+  // sync source sits in the far half of the tail (nodes 36..47).
+  const auto& sync_race = serial[serial.size() - 2];
+  EXPECT_GE(sync_race.summary.mean(), sync_race.best_mean);
+  EXPECT_GE(sync_race.source, 36u);
+}
+
+TEST(CampaignRace, SpecDrivenRaceMatchesFindWorstSource) {
+  // End-to-end through the JSON spec front end (what `rumor_bench
+  // --campaign` executes): a spec-built star must race to the same source
+  // and mean as find_worst_source on an identically built star.
+  const auto spec = parse(R"({"configs": [
+      {"graph": "star", "n": 96, "source": "race", "trials": 40,
+       "screen_trials": 6, "finalists": 4, "max_candidates": 24, "seed": 17}
+    ]})");
+  ASSERT_TRUE(spec.error.empty()) << spec.error;
+  ASSERT_EQ(spec.configs.size(), 1u);
+  EXPECT_EQ(spec.configs[0].source_policy, sim::SourcePolicy::kRace);
+  EXPECT_EQ(spec.configs[0].id, "star_n96_sync_push-pull_race");
+
+  sim::WorstSourceOptions opts;
+  opts.screen_trials = 6;
+  opts.final_trials = 40;
+  opts.max_candidates = 24;
+  opts.seed = 17;
+  const auto direct = sim::find_worst_source_sync(graph::star(96), core::Mode::kPushPull, opts);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    sim::CampaignOptions options;
+    options.threads = threads;
+    const auto results = sim::run_campaign(spec.configs, options);
+    EXPECT_EQ(results[0].source, direct.source) << "threads=" << threads;
+    EXPECT_EQ(results[0].summary.mean(), direct.mean_time) << "threads=" << threads;
+    EXPECT_EQ(results[0].best_source, direct.best_source) << "threads=" << threads;
+    EXPECT_EQ(results[0].best_mean, direct.best_mean_time) << "threads=" << threads;
+  }
+}
+
+TEST(CampaignRace, ReportCarriesRaceOutcome) {
+  sim::WorstSourceOptions opts;
+  opts.screen_trials = 4;
+  opts.final_trials = 16;
+  opts.max_candidates = 8;
+  const auto results =
+      sim::run_campaign({race_config(shared(graph::star(64)), sim::EngineKind::kSync, opts)}, {});
+  const sim::Json report = sim::campaign_report(results[0], "unit");
+  EXPECT_EQ(report.find("params")->find("source_policy")->as_string(), "race");
+  const sim::Json* stats = report.find("stats");
+  ASSERT_NE(stats, nullptr);
+  for (const char* key : {"worst_source", "best_source", "best_mean"}) {
+    EXPECT_NE(stats->find(key), nullptr) << key;
+  }
+  EXPECT_TRUE(sim::Json::parse(report.dump(2)).has_value());
+}
+
+TEST(CampaignRace, SingleCandidateRaceIsWellDefined) {
+  // max_candidates == 1 is spec-reachable; the stratified stride must not
+  // divide by zero. The single candidate is the min-degree node, and worst
+  // == best by construction.
+  const auto spec = parse(R"({"configs": [
+      {"graph": "star", "n": 32, "source": "race", "trials": 8,
+       "screen_trials": 2, "max_candidates": 1}
+    ]})");
+  ASSERT_TRUE(spec.error.empty()) << spec.error;
+  const auto results = sim::run_campaign(spec.configs, {});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GE(results[0].source, 1u);  // a leaf, never the hub
+  EXPECT_EQ(results[0].source, results[0].best_source);
+  EXPECT_EQ(results[0].summary.mean(), results[0].best_mean);
+}
+
+TEST(CampaignRace, RejectsBadSourceValues) {
+  // "source" must be a non-negative integer node id or "race"/"fixed";
+  // race tuning keys must be positive where zero is meaningless.
+  for (const char* bad :
+       {R"({"configs": [{"graph": "star", "n": 64, "source": "worst"}]})",
+        R"({"configs": [{"graph": "star", "n": 64, "source": -2}]})",
+        R"({"configs": [{"graph": "star", "n": 64, "source": 1.5}]})",
+        R"({"configs": [{"graph": "star", "n": 64, "source": true}]})",
+        R"({"configs": [{"graph": "star", "n": 64, "source": "race", "screen_trials": 0}]})",
+        R"({"configs": [{"graph": "star", "n": 64, "source": "race", "finalists": 0}]})"}) {
+    EXPECT_FALSE(parse(bad).error.empty()) << bad;
+  }
+  // The happy strings parse.
+  EXPECT_TRUE(parse(R"({"configs": [{"graph": "star", "n": 64, "source": "fixed"}]})")
+                  .error.empty());
+  EXPECT_TRUE(parse(R"({"defaults": {"source": "race"},
+                        "configs": [{"graph": "star", "n": 64}]})").error.empty());
 }
 
 // --- Report schema -----------------------------------------------------------

@@ -1,19 +1,30 @@
 #!/usr/bin/env python3
-"""Perf-trajectory gate: diff a rumor_bench report against a baseline.
+"""Perf-trajectory gate: diff a rumor_bench report against baselines.
 
-Compares the e9_micro ns_per_op columns of a freshly produced
-``rumor_bench --all --json --out BENCH_pr.json`` report against a
-checked-in baseline (bench/BASELINE_e9.json) and fails when any primitive
-slowed down by more than the tolerance factor.
+Two gates, both reading the stable report schema of sim/experiment.hpp:
 
-The baseline was recorded on one particular machine and CI runners differ,
-so the default tolerance is deliberately loose (5x): this gate catches
-catastrophic regressions (an accidentally quadratic inner loop, a dropped
-compiler flag), not single-digit-percent drift. Tighten --tolerance when
-baseline and runner hardware match.
+* **Throughput** (``e9_micro``): compares ns_per_op per primitive against a
+  checked-in baseline (bench/BASELINE_e9.json) and fails when any primitive
+  slowed down by more than ``--tolerance``. The baseline was recorded on one
+  particular machine and CI runners differ, so the default tolerance is
+  deliberately loose (5x): this catches catastrophic regressions (an
+  accidentally quadratic inner loop, a dropped compiler flag), not
+  single-digit-percent drift.
+
+* **Spreading times** (``--times``, gating ``e1_overview``): compares the
+  per-family sync/async mean spreading times against
+  bench/BASELINE_times.json (recorded at ``--trials 8``). Spreading times
+  are simulation outcomes — deterministic given the seed and bit-identical
+  across thread counts (the campaign contract) — so unlike ns_per_op they
+  do NOT vary with runner hardware; only libm/compiler rounding drift and
+  *behavioral* changes to the engines move them. ``--time-tolerance``
+  (default 1.25x, both directions) absorbs the former and fails on the
+  latter: an engine change that alters trial-level randomness must ship
+  with a refreshed baseline (see bench/README.md for the refresh command).
 
 Usage:
-  perf_diff.py BENCH_pr.json bench/BASELINE_e9.json [--tolerance 5.0]
+  perf_diff.py BENCH_pr.json bench/BASELINE_e9.json [--tolerance 5.0] \
+      [--times bench/BASELINE_times.json] [--time-tolerance 1.25]
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
 """
@@ -23,43 +34,42 @@ import json
 import sys
 
 
-def load_e9_rows(path):
-    """Returns {primitive: ns_per_op} from a report file.
-
-    Accepts either a single e9_micro report object or an array of reports
-    (the --all shape), in the stable schema of sim/experiment.hpp.
-    """
+def load_reports(path):
+    """Returns the list of report objects in a report file (one or many)."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    reports = doc if isinstance(doc, list) else [doc]
-    for report in reports:
-        if report.get("experiment") == "e9_micro":
-            return {
-                row["primitive"]: float(row["ns_per_op"])
-                for row in report.get("rows", [])
-            }
-    raise KeyError(f"{path}: no e9_micro report found")
+    return doc if isinstance(doc, list) else [doc]
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="fresh report (BENCH_pr.json)")
-    parser.add_argument("baseline", help="checked-in baseline report")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=5.0,
-        help="max allowed ns_per_op ratio current/baseline (default: 5.0)",
-    )
-    args = parser.parse_args()
+def find_report(path, experiment):
+    for report in load_reports(path):
+        if report.get("experiment") == experiment:
+            return report
+    raise KeyError(f"{path}: no {experiment} report found")
 
-    try:
-        current = load_e9_rows(args.current)
-        baseline = load_e9_rows(args.baseline)
-    except (OSError, ValueError, KeyError) as err:
-        print(f"perf_diff: {err}", file=sys.stderr)
-        return 2
 
+def load_e9_rows(path):
+    """Returns {primitive: ns_per_op} from a report file."""
+    report = find_report(path, "e9_micro")
+    return {
+        row["primitive"]: float(row["ns_per_op"]) for row in report.get("rows", [])
+    }
+
+
+def load_family_means(path):
+    """Returns {family: {metric: mean}} from a report file's e1_overview."""
+    report = find_report(path, "e1_overview")
+    return {
+        row["graph"]: {
+            "sync_mean": float(row["sync_mean"]),
+            "async_mean": float(row["async_mean"]),
+        }
+        for row in report.get("rows", [])
+    }
+
+
+def diff_e9(current, baseline, tolerance):
+    """Prints the ns_per_op table; returns the list of regressions."""
     regressions = []
     width = max(len(name) for name in baseline) if baseline else 0
     print(f"{'primitive':<{width}}  {'base ns':>10}  {'pr ns':>10}  ratio")
@@ -70,23 +80,108 @@ def main():
             continue
         cur_ns = current[name]
         ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
-        flag = " REGRESSION" if ratio > args.tolerance else ""
+        flag = " REGRESSION" if ratio > tolerance else ""
         print(f"{name:<{width}}  {base_ns:>10.2f}  {cur_ns:>10.2f}  {ratio:5.2f}x{flag}")
-        if ratio > args.tolerance:
-            regressions.append((name, f"{ratio:.2f}x > {args.tolerance:.2f}x"))
+        if ratio > tolerance:
+            regressions.append((name, f"{ratio:.2f}x > {tolerance:.2f}x"))
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:<{width}}  {'NEW':>10}  {current[name]:>10.2f}  -")
+    return regressions
 
-    if regressions:
-        print(
-            f"\nperf_diff: {len(regressions)} primitive(s) regressed beyond "
-            f"{args.tolerance:.2f}x:",
-            file=sys.stderr,
-        )
-        for name, why in regressions:
-            print(f"  {name}: {why}", file=sys.stderr)
+
+def diff_times(current, baseline, tolerance):
+    """Prints the spreading-time table; returns the list of drifts.
+
+    Both directions count: a family spreading suspiciously *faster* than the
+    baseline is the same class of behavioral drift as one spreading slower.
+    """
+    drifts = []
+    width = max(len(name) for name in baseline) if baseline else 0
+    print(f"{'family':<{width}}  {'metric':<10}  {'base':>9}  {'pr':>9}  ratio")
+    for family, metrics in sorted(baseline.items()):
+        if family not in current:
+            print(f"{family:<{width}}  {'-':<10}  {'-':>9}  {'MISSING':>9}  -")
+            drifts.append((family, "missing from current report"))
+            continue
+        for metric, base_mean in sorted(metrics.items()):
+            cur_mean = current[family].get(metric)
+            if cur_mean is None:
+                drifts.append((f"{family}/{metric}", "missing metric"))
+                continue
+            ratio = cur_mean / base_mean if base_mean > 0 else float("inf")
+            ok = 1.0 / tolerance <= ratio <= tolerance
+            flag = "" if ok else " DRIFT"
+            print(
+                f"{family:<{width}}  {metric:<10}  {base_mean:>9.3f}  "
+                f"{cur_mean:>9.3f}  {ratio:5.2f}x{flag}"
+            )
+            if not ok:
+                drifts.append(
+                    (f"{family}/{metric}", f"{ratio:.2f}x outside 1/{tolerance:.2f}..{tolerance:.2f}x")
+                )
+    for family in sorted(set(current) - set(baseline)):
+        print(f"{family:<{width}}  {'NEW':<10}  -")
+    return drifts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh report (BENCH_pr.json)")
+    parser.add_argument("baseline", help="checked-in e9_micro baseline report")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=5.0,
+        help="max allowed ns_per_op ratio current/baseline (default: 5.0)",
+    )
+    parser.add_argument(
+        "--times",
+        help="checked-in spreading-time baseline (bench/BASELINE_times.json); "
+        "enables the e1_overview per-family mean gate",
+    )
+    parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=1.25,
+        help="allowed spreading-time mean ratio band, both directions "
+        "(default: 1.25; times are hardware-independent, see module doc)",
+    )
+    args = parser.parse_args()
+
+    try:
+        current = load_e9_rows(args.current)
+        baseline = load_e9_rows(args.baseline)
+        time_pairs = None
+        if args.times:
+            time_pairs = (
+                load_family_means(args.current),
+                load_family_means(args.times),
+            )
+    except (OSError, ValueError, KeyError) as err:
+        print(f"perf_diff: {err}", file=sys.stderr)
+        return 2
+
+    failures = [(name, why, "regressed") for name, why in
+                diff_e9(current, baseline, args.tolerance)]
+    if time_pairs is not None:
+        print()
+        failures += [
+            (name, why, "drifted")
+            for name, why in diff_times(time_pairs[0], time_pairs[1], args.time_tolerance)
+        ]
+
+    if failures:
+        print(f"\nperf_diff: {len(failures)} gate failure(s):", file=sys.stderr)
+        for name, why, verb in failures:
+            print(f"  {name} {verb}: {why}", file=sys.stderr)
         return 1
-    print(f"\nperf_diff: all {len(baseline)} primitives within {args.tolerance:.2f}x")
+    gates = f"all {len(baseline)} primitives within {args.tolerance:.2f}x"
+    if time_pairs is not None:
+        gates += (
+            f"; all {len(time_pairs[1])} family spreading times within "
+            f"{args.time_tolerance:.2f}x"
+        )
+    print(f"\nperf_diff: {gates}")
     return 0
 
 
