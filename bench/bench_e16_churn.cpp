@@ -1,0 +1,125 @@
+// E16 (extension): spreading time under temporal churn.
+//
+// The paper's bounds live on static graphs; real contact networks churn
+// (links fail and recover, contacts rewire — see the commuting/road-network
+// studies in PAPERS.md). This experiment sweeps the edge-Markov churn rate
+// (birth = death = rate) across families and adds a Watts-Strogatz-style
+// per-round rewiring cell, measuring synchronous push-pull throughout.
+// Expected shape: churn always costs time, by a small constant factor on
+// expanders (hypercube, random-regular). On the locally-bound torus the
+// *slow* rates hurt most: a dead link persists ~1/rate rounds, long enough
+// to wall off a region, while fast churn self-heals within a round or two.
+// Per-round rewiring *helps* the torus (shortcuts appear every round, a
+// small-world effect) and is near-neutral on expanders.
+//
+// Runs on the campaign scheduler: every (family, rate) cell is a campaign
+// configuration with a `dynamics` block, sharing one trial-block queue.
+#include <cstdio>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rumor.hpp"
+#include "sim/campaign.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace rumor;
+
+sim::Json run(const sim::ExperimentContext& ctx) {
+  std::vector<std::shared_ptr<const graph::Graph>> graphs;
+  std::size_t graph_index = 0;
+  // Per-graph derived streams, so every topology is seed-identical
+  // regardless of list order.
+  auto keep = [&](auto make) {
+    rng::Engine gen_eng = rng::derive_stream(16001, graph_index++);
+    graphs.push_back(std::make_shared<const graph::Graph>(make(gen_eng)));
+  };
+  keep([](rng::Engine&) { return graph::hypercube(9); });
+  keep([](rng::Engine& eng) { return graph::random_regular(512, 6, eng); });
+  keep([](rng::Engine&) { return graph::torus(22); });
+
+  const auto config = ctx.trial_config(120, 16002);
+  const double rates[] = {0.0, 0.02, 0.05, 0.2};
+  constexpr double kRewireP = 0.1;  // single source for config, rows, and docs
+
+  std::vector<sim::CampaignConfig> cells;
+  for (const auto& g : graphs) {
+    for (const double rate : rates) {
+      char tag[32];
+      std::snprintf(tag, sizeof tag, "_markov%g", rate);
+      sim::CampaignConfig cell;
+      cell.id = g->name() + tag;
+      cell.prebuilt = g;
+      cell.mode = core::Mode::kPushPull;
+      cell.source = 0;
+      cell.trials = config.trials;
+      cell.seed = config.seed;
+      if (rate > 0.0) {
+        cell.dynamics.churn.model = dynamics::ChurnModel::kMarkov;
+        cell.dynamics.churn.birth = rate;
+        cell.dynamics.churn.death = rate;
+      }
+      cells.push_back(std::move(cell));
+    }
+    sim::CampaignConfig rewired;
+    rewired.id = g->name() + "_rewire";
+    rewired.prebuilt = g;
+    rewired.mode = core::Mode::kPushPull;
+    rewired.source = 0;
+    rewired.trials = config.trials;
+    rewired.seed = config.seed;
+    rewired.dynamics.churn.model = dynamics::ChurnModel::kRewire;
+    rewired.dynamics.churn.rewire = kRewireP;
+    cells.push_back(std::move(rewired));
+  }
+
+  sim::CampaignOptions campaign_options;
+  campaign_options.threads = config.threads;
+  const auto results = sim::run_campaign(cells, campaign_options);
+
+  const std::size_t per_graph = std::size(rates) + 1;
+  sim::Json rows = sim::Json::array();
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const double static_mean = results[gi * per_graph].summary.mean();
+    for (std::size_t ci = 0; ci < per_graph; ++ci) {
+      const auto& r = results[gi * per_graph + ci];
+      const bool rewire = ci == per_graph - 1;
+      sim::Json row = sim::Json::object();
+      row.set("graph", r.graph_name);
+      row.set("n", r.n);
+      row.set("churn", rewire ? "rewire" : "markov");
+      row.set("rate", rewire ? kRewireP : rates[ci]);
+      row.set("mean", r.summary.mean());
+      row.set("p95", r.summary.quantile(0.95));
+      row.set("vs_static", r.summary.mean() / static_mean);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  sim::Json body = sim::Json::object();
+  body.set("rows", std::move(rows));
+  body.set("notes",
+           "Edge-Markov churn (birth = death = rate) costs push-pull a small constant "
+           "on expanders at every rate; on the torus the slow rates are the "
+           "expensive ones (dead links persist ~1/rate rounds and wall off "
+           "regions, while fast churn self-heals). Per-round rewiring acts as a "
+           "small-world accelerator on the torus.");
+  return body;
+}
+
+const sim::ExperimentRegistrar kRegistrar{{
+    .name = "e16_churn",
+    .title = "spreading time vs edge churn rate (dynamics extension)",
+    .claim = "vs_static > 1 under Markov churn everywhere, a small constant on "
+             "expanders; slow churn hurts the torus most (persistent dead links); "
+             "rewiring speeds up the torus.",
+    .defaults = "trials=120 seed=16002 per (family, rate) cell, campaign-scheduled "
+                "(rates 0/0.02/0.05/0.2 + rewire_p=0.1)",
+    .run = run,
+}};
+
+}  // namespace

@@ -3,8 +3,11 @@
 #include <cassert>
 #include <cmath>
 #include <queue>
+#include <stdexcept>
 #include <utility>
 #include <vector>
+
+#include "dynamics/churn.hpp"
 
 namespace rumor::core {
 
@@ -58,12 +61,15 @@ AsyncResult run_global_clock(const Graph& g, NodeId source, rng::Engine& eng,
   double now = 0.0;
   std::uint64_t steps = 0;
   const double rate = static_cast<double>(n);
+  dynamics::DynamicGraphView* const view = options.dynamics;
   while (informed_count < n && steps < cap) {
     now += rng::exponential(eng, rate);
     ++steps;
+    if (view != nullptr) view->advance_time(now);  // churn epochs track the clock
     const NodeId v = static_cast<NodeId>(rng::uniform_below(eng, n));
-    if (g.degree(v) == 0) continue;
-    const NodeId w = g.random_neighbor(v, eng);
+    const std::uint32_t deg = view != nullptr ? view->degree(v) : g.degree(v);
+    if (deg == 0) continue;
+    const NodeId w = view != nullptr ? view->sample(v, eng) : g.random_neighbor(v, eng);
     if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
     exchange(options.mode, v, w, now, result.informed_time, informed_count);
   }
@@ -157,6 +163,9 @@ std::uint64_t default_step_cap(NodeId n) noexcept {
 AsyncResult run_async(const Graph& g, NodeId source, rng::Engine& eng,
                       const AsyncOptions& options) {
   assert(source < g.num_nodes());
+  if (options.dynamics != nullptr && options.view != AsyncView::kGlobalClock) {
+    throw std::runtime_error("run_async: dynamics overlays need the global-clock view");
+  }
   const std::uint64_t cap =
       options.max_steps != 0 ? options.max_steps : default_step_cap(g.num_nodes());
   switch (options.view) {

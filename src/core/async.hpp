@@ -18,6 +18,10 @@
 #include "core/protocol.hpp"
 #include "rng/rng.hpp"
 
+namespace rumor::dynamics {
+class DynamicGraphView;
+}  // namespace rumor::dynamics
+
 namespace rumor::core {
 
 enum class AsyncView : std::uint8_t {
@@ -37,6 +41,13 @@ struct AsyncOptions {
   double message_loss = 0.0;
   /// Additional nodes informed at time 0 (extension: multi-source).
   std::vector<NodeId> extra_sources;
+  /// Temporal/weighted overlay (extension, dynamics/churn.hpp): epochs are
+  /// `period` time units long and contacts route through the view. Only
+  /// the global-clock equivalent supports dynamics (the per-node/per-edge
+  /// heaps pre-draw clock ticks against a fixed adjacency); run_async
+  /// throws std::runtime_error on other views. Null = the static model,
+  /// randomness consumption unchanged.
+  dynamics::DynamicGraphView* dynamics = nullptr;
 };
 
 /// Runs one asynchronous execution from `source`; reports the time (in time

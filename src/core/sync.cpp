@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "dynamics/churn.hpp"
+
 namespace rumor::core {
 
 std::uint64_t default_round_cap(NodeId n) noexcept {
@@ -35,14 +37,17 @@ SyncResult run_sync(const Graph& g, NodeId source, rng::Engine& eng,
   // Nodes informed strictly before the current round: informed_round < r.
   // Newly informed nodes are stamped with the current round number, so the
   // same array doubles as the pre-round snapshot.
+  dynamics::DynamicGraphView* const view = options.dynamics;
   std::vector<NodeId> newly_informed;
   for (std::uint64_t r = 1; informed_count < n && r <= cap; ++r) {
+    if (view != nullptr) view->begin_round(r);  // churn applies between rounds
     newly_informed.clear();
     auto informed_before = [&](NodeId v) { return result.informed_round[v] < r; };
 
     for (NodeId v = 0; v < n; ++v) {
-      if (g.degree(v) == 0) continue;  // isolated node: nothing to contact
-      const NodeId w = g.random_neighbor(v, eng);
+      const std::uint32_t deg = view != nullptr ? view->degree(v) : g.degree(v);
+      if (deg == 0) continue;  // isolated node (possibly churned-out): nothing to contact
+      const NodeId w = view != nullptr ? view->sample(v, eng) : g.random_neighbor(v, eng);
       const bool v_in = informed_before(v);
       const bool w_in = informed_before(w);
       if (v_in == w_in) continue;  // both or neither informed: no exchange

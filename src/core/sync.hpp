@@ -12,6 +12,10 @@
 #include "core/protocol.hpp"
 #include "rng/rng.hpp"
 
+namespace rumor::dynamics {
+class DynamicGraphView;
+}  // namespace rumor::dynamics
+
 namespace rumor::core {
 
 struct SyncOptions {
@@ -34,6 +38,13 @@ struct SyncOptions {
   /// Additional nodes informed at round 0, alongside `source` (extension:
   /// multi-source spreading, e.g. a write accepted by several replicas).
   std::vector<NodeId> extra_sources;
+  /// Temporal/weighted overlay (extension, dynamics/churn.hpp): when set,
+  /// every round begins with dynamics->begin_round(r) and contacts are
+  /// drawn through the view (churned adjacency, weighted neighbor choice)
+  /// instead of g.random_neighbor. Null = the paper's static model, with
+  /// the engine's randomness consumption unchanged. The view is per-trial
+  /// mutable state and must not be shared across concurrent runs.
+  dynamics::DynamicGraphView* dynamics = nullptr;
 };
 
 /// Runs one synchronous execution from `source` and reports when every node

@@ -1,0 +1,73 @@
+#include "dynamics/alias.hpp"
+
+#include <cassert>
+
+namespace rumor::dynamics {
+
+std::vector<std::size_t> csr_offsets(const graph::Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + g.degree(v);
+  return offsets;
+}
+
+void NeighborAliasTable::build(std::span<const std::size_t> offsets,
+                               std::span<const double> weights) {
+  assert(!offsets.empty());
+  assert(weights.size() == offsets.back());
+  offsets_.assign(offsets.begin(), offsets.end());
+  const std::size_t entries = weights.size();
+  prob_.assign(entries, 1.0);
+  alias_.assign(entries, 0);
+
+  // Vose's stable pairing, run independently per node slice. Work lists are
+  // slice-local indices; reused across slices to keep the rebuild
+  // allocation-free after the first epoch.
+  std::vector<double> scaled;
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  const std::size_t n = offsets_.size() - 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t lo = offsets_[v];
+    const std::size_t k = offsets_[v + 1] - lo;
+    if (k == 0) continue;
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      assert(weights[lo + i] >= 0.0 && "neighbor weights must be non-negative");
+      total += weights[lo + i];
+    }
+    if (total <= 0.0) {
+      // Degenerate slice: prob 1 everywhere is exactly uniform sampling.
+      for (std::size_t i = 0; i < k; ++i) {
+        prob_[lo + i] = 1.0;
+        alias_[lo + i] = static_cast<std::uint32_t>(i);
+      }
+      continue;
+    }
+    scaled.resize(k);
+    const double scale = static_cast<double>(k) / total;
+    for (std::size_t i = 0; i < k; ++i) scaled[i] = weights[lo + i] * scale;
+    small.clear();
+    large.clear();
+    for (std::size_t i = 0; i < k; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::uint32_t s = small.back();
+      small.pop_back();
+      const std::uint32_t l = large.back();
+      prob_[lo + s] = scaled[s];
+      alias_[lo + s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;  // ordered for fp stability
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    // Residual columns are fp round-off; they accept with probability 1.
+    for (const std::uint32_t l : large) prob_[lo + l] = 1.0;
+    for (const std::uint32_t s : small) prob_[lo + s] = 1.0;
+  }
+}
+
+}  // namespace rumor::dynamics

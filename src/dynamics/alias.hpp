@@ -1,0 +1,77 @@
+// rumor/dynamics: O(1) weighted neighbor sampling over CSR adjacency.
+//
+// The protocol primitive under weighted contact rates is "v contacts
+// neighbor w with probability proportional to the weight of {v, w}". A
+// linear scan per contact would put an O(deg) factor into every engine's
+// inner loop, so this module builds one Walker/Vose alias table per node,
+// flattened over the CSR slices: sampling is one bounded uniform plus one
+// uniform double plus two indexed loads, independent of degree — the
+// weighted analogue of Graph::random_neighbor.
+//
+// The table is immutable after build() and safe to share across threads;
+// static-weight campaign configurations build it once per configuration and
+// every trial samples from the shared copy, while churn overlays
+// (dynamics/churn.hpp) rebuild a private table per epoch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace rumor::dynamics {
+
+using graph::NodeId;
+
+/// Per-node alias tables over a flat adjacency layout.
+///
+/// `offsets` is a CSR offsets array (size n + 1) and `weights` carries one
+/// non-negative weight per directed adjacency entry (size offsets[n],
+/// aligned with the owner's neighbor array). Each node's slice becomes an
+/// independent alias table; a slice whose weights sum to zero (or an empty
+/// slice) falls back to uniform acceptance, so callers only need the usual
+/// degree > 0 precondition.
+class NeighborAliasTable {
+ public:
+  NeighborAliasTable() = default;
+
+  /// Rebuilds the tables in place; reuses the existing buffers, so a churn
+  /// overlay can rebuild per epoch without reallocating.
+  void build(std::span<const std::size_t> offsets, std::span<const double> weights);
+
+  [[nodiscard]] bool empty() const noexcept { return offsets_.empty(); }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Draws a slice-local neighbor index of v (in [0, degree(v))) with
+  /// probability proportional to that entry's weight. The caller maps the
+  /// local index back through its own neighbor array (Graph::neighbor_at
+  /// for base adjacency, the overlay's flat array under churn).
+  /// Precondition: !empty() and degree(v) > 0.
+  template <class Eng>
+  [[nodiscard]] std::uint32_t sample_local(NodeId v, Eng& eng) const noexcept {
+    const std::size_t lo = offsets_[v];
+    const auto deg = static_cast<std::uint64_t>(offsets_[v + 1] - lo);
+    const std::size_t column = lo + rng::uniform_below(eng, deg);
+    const std::size_t slot =
+        rng::uniform01(eng) < prob_[column] ? column : lo + alias_[column];
+    return static_cast<std::uint32_t>(slot - lo);
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;   // size n + 1
+  std::vector<double> prob_;           // acceptance probability per entry
+  std::vector<std::uint32_t> alias_;   // slice-local fallback index per entry
+};
+
+/// Convenience: CSR offsets of a graph (prefix sums of degrees), the layout
+/// both the weight generators and the alias builder index by.
+[[nodiscard]] std::vector<std::size_t> csr_offsets(const graph::Graph& g);
+
+}  // namespace rumor::dynamics

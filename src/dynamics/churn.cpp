@@ -1,0 +1,149 @@
+#include "dynamics/churn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rumor::dynamics {
+
+namespace {
+
+/// Order-sensitive two-input hash (SplitMix64 round per input); used to
+/// fold (dynamics seed, protocol stream seed, trial) into one churn-stream
+/// root that collides with neither the protocol streams nor the weight
+/// hash family.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  rng::SplitMix64 sm(a ^ (b * 0x9e3779b97f4a7c15ULL));
+  return sm.next();
+}
+
+/// Stream tag separating churn randomness from everything else derived
+/// from the same dynamics seed (the weight hash in particular).
+constexpr std::uint64_t kChurnTag = 0x636875726e5f5f5fULL;  // "churn___"
+
+}  // namespace
+
+std::vector<graph::Edge> base_edge_list(const graph::Graph& g) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId w : g.neighbors(v)) {
+      if (v < w) edges.push_back({v, w});
+    }
+  }
+  return edges;
+}
+
+DynamicGraphView::DynamicGraphView(const graph::Graph& base, const DynamicsSpec& spec,
+                                   const NeighborAliasTable* base_weighted,
+                                   std::uint64_t stream_seed, std::uint64_t trial,
+                                   const std::vector<graph::Edge>* shared_base_edges)
+    : base_(&base),
+      spec_(spec),
+      churned_(spec.churn.model != ChurnModel::kNone),
+      weighted_(spec.weights.model != WeightModel::kNone) {
+  if (!churned_) {
+    if (weighted_) {
+      assert(base_weighted != nullptr && !base_weighted->empty() &&
+             "static-weights view needs the shared sampler");
+      base_weighted_ = base_weighted;
+    }
+    return;
+  }
+  trial_stream_ = mix(mix(spec_.seed ^ kChurnTag, stream_seed), trial);
+  if (shared_base_edges != nullptr) {
+    base_edges_ = shared_base_edges;
+  } else {
+    owned_base_edges_ = base_edge_list(base);
+    base_edges_ = &owned_base_edges_;
+  }
+  if (spec_.churn.model == ChurnModel::kMarkov) {
+    on_.assign(base_edges_->size(), 1);  // epoch 0 = the base graph as given
+  }
+  offsets_.assign(static_cast<std::size_t>(base.num_nodes()) + 1, 0);
+  current_edges_ = *base_edges_;
+  rebuild_overlay();
+}
+
+void DynamicGraphView::begin_round(std::uint64_t round) {
+  assert(round >= 1);
+  if (churned_) set_epoch((round - 1) / spec_.churn.period);
+}
+
+void DynamicGraphView::advance_time(double now) {
+  if (!churned_) return;
+  const double e = std::floor(now / static_cast<double>(spec_.churn.period));
+  set_epoch(e <= 0.0 ? 0 : static_cast<std::uint64_t>(e));
+}
+
+void DynamicGraphView::set_epoch(std::uint64_t epoch) {
+  if (epoch == epoch_) return;  // the epoch cache: unchanged rounds are free
+  assert(epoch > epoch_ && "epochs only advance within a trial");
+  switch (spec_.churn.model) {
+    case ChurnModel::kMarkov: {
+      // Sequential state: walk every intermediate epoch's transition, each
+      // from its own derived stream, then rebuild the overlay once.
+      for (std::uint64_t e = epoch_ + 1; e <= epoch; ++e) {
+        rng::Engine eng = rng::derive_stream(trial_stream_, e);
+        for (std::size_t i = 0; i < base_edges_->size(); ++i) {
+          if (on_[i] != 0) {
+            if (rng::bernoulli(eng, spec_.churn.death)) on_[i] = 0;
+          } else {
+            if (rng::bernoulli(eng, spec_.churn.birth)) on_[i] = 1;
+          }
+        }
+      }
+      current_edges_.clear();
+      for (std::size_t i = 0; i < base_edges_->size(); ++i) {
+        if (on_[i] != 0) current_edges_.push_back((*base_edges_)[i]);
+      }
+      break;
+    }
+    case ChurnModel::kRewire: {
+      // Memoryless overlay: each epoch rewires the *base* graph afresh, so
+      // skipped epochs (async quiet stretches) need no intermediate work.
+      rng::Engine eng = rng::derive_stream(trial_stream_, epoch);
+      const NodeId n = base_->num_nodes();
+      current_edges_ = *base_edges_;
+      for (graph::Edge& edge : current_edges_) {
+        if (!rng::bernoulli(eng, spec_.churn.rewire)) continue;
+        NodeId u = edge.b;
+        do {
+          u = static_cast<NodeId>(rng::uniform_below(eng, n));
+        } while (u == edge.a);
+        edge.b = u;
+      }
+      break;
+    }
+    case ChurnModel::kNone: break;
+  }
+  epoch_ = epoch;
+  rebuild_overlay();
+}
+
+void DynamicGraphView::rebuild_overlay() {
+  const NodeId n = base_->num_nodes();
+  // Counting sort of the edge list into flat CSR: degrees, prefix sums, fill.
+  std::fill(offsets_.begin(), offsets_.end(), 0);
+  for (const graph::Edge& e : current_edges_) {
+    ++offsets_[e.a + 1];
+    ++offsets_[e.b + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  nbrs_.resize(offsets_[n]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const graph::Edge& e : current_edges_) {
+    nbrs_[cursor[e.a]++] = e.b;
+    nbrs_[cursor[e.b]++] = e.a;
+  }
+  if (!weighted_) return;
+  weights_.resize(nbrs_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      weights_[i] = edge_weight(spec_.weights, *base_, spec_.seed, v, nbrs_[i]);
+    }
+  }
+  sampler_.build(offsets_, weights_);
+}
+
+}  // namespace rumor::dynamics

@@ -1,0 +1,158 @@
+// rumor/dynamics: temporal graph overlays — churn between rounds.
+//
+// The paper's bounds live on static graphs, but real contact networks
+// churn: links fail and recover, and contacts rewire over time. A
+// DynamicGraphView layers a deterministic, seed-derived mutation process on
+// top of an immutable base CSR graph:
+//
+//   kMarkov  every base edge carries an on/off Markov state; once per epoch
+//            an ON edge dies with probability `death` and an OFF edge is
+//            (re)born with probability `birth`. The edge-Markovian dynamic
+//            graph model; epoch 0 is the base graph.
+//   kRewire  once per epoch every base edge {v, w} is independently, with
+//            probability `rewire`, replaced by {v, u} with u uniform (a
+//            Watts-Strogatz-style rewiring, re-drawn fresh each epoch so
+//            the graph stays an overlay of the base, never drifts).
+//
+// Time is grouped into *epochs* of `period` rounds (sync engines) or time
+// units (the async global clock): mutations apply at epoch boundaries and
+// every round inside an epoch reuses the cached overlay adjacency — and
+// when no churn model is configured the view delegates straight to the
+// base CSR (plus the shared weighted sampler, if any), so unchanged rounds
+// run at full base speed.
+//
+// Determinism contract: the mutation stream of (trial, epoch) is
+// rng::derive_stream(mix(dynamics seed, protocol stream seed, trial),
+// epoch) — a pure function of the configuration, candidate source, and
+// trial index, drawn from engines disjoint from the protocol randomness.
+// Campaign summaries over dynamic graphs are therefore bit-identical
+// across thread counts and block sizes (tests/test_dynamics.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dynamics/alias.hpp"
+#include "dynamics/weights.hpp"
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace rumor::dynamics {
+
+enum class ChurnModel : std::uint8_t { kNone, kMarkov, kRewire };
+
+[[nodiscard]] constexpr const char* churn_model_name(ChurnModel m) noexcept {
+  switch (m) {
+    case ChurnModel::kNone: return "none";
+    case ChurnModel::kMarkov: return "markov";
+    case ChurnModel::kRewire: return "rewire";
+  }
+  return "?";
+}
+
+struct ChurnParams {
+  ChurnModel model = ChurnModel::kNone;
+  double birth = 0.05;   // kMarkov: off -> on probability per epoch
+  double death = 0.05;   // kMarkov: on -> off probability per epoch
+  double rewire = 0.1;   // kRewire: per-edge rewiring probability per epoch
+  /// Rounds (sync) / time units (async global clock) per epoch.
+  std::uint64_t period = 1;
+};
+
+/// A campaign configuration's complete dynamics description: a churn model,
+/// a weight model, and the seed their randomness derives from.
+struct DynamicsSpec {
+  ChurnParams churn;
+  WeightParams weights;
+  /// Root of the churn streams and the weight hash; 0 = the owner derives
+  /// it (the campaign uses the configuration seed).
+  std::uint64_t seed = 0;
+
+  /// True when the spec changes nothing (no churn, no weights): the
+  /// engines then take their original static path untouched.
+  [[nodiscard]] bool is_static() const noexcept {
+    return churn.model == ChurnModel::kNone && weights.model == WeightModel::kNone;
+  }
+};
+
+/// The base graph's undirected edge list in (v < w) CSR order — the churn
+/// models' mutation universe. Campaigns compute it once per configuration
+/// and share it read-only across that configuration's trial views.
+[[nodiscard]] std::vector<graph::Edge> base_edge_list(const graph::Graph& g);
+
+/// One trial's view of a (possibly) churning, (possibly) weighted graph.
+///
+/// Cheap to construct when no churn model is configured (a couple of
+/// pointers; the weighted sampler is shared across trials). With churn it
+/// holds a private overlay adjacency rebuilt once per epoch.
+class DynamicGraphView {
+ public:
+  /// `base_weighted` is the configuration-level shared sampler for the
+  /// static-weights fast path (required iff weights are configured without
+  /// churn; ignored otherwise). `stream_seed` and `trial` identify the
+  /// protocol stream this view accompanies, so churn is independent per
+  /// trial and per race candidate. `shared_base_edges`, when non-null,
+  /// must equal base_edge_list(base) and outlive the view; null makes the
+  /// view extract its own copy (the campaign shares one per config).
+  DynamicGraphView(const graph::Graph& base, const DynamicsSpec& spec,
+                   const NeighborAliasTable* base_weighted, std::uint64_t stream_seed,
+                   std::uint64_t trial,
+                   const std::vector<graph::Edge>* shared_base_edges = nullptr);
+
+  /// Sync engines: call at the top of round r (1-based); epoch (r-1)/period.
+  void begin_round(std::uint64_t round);
+  /// Async global clock: call after advancing the clock; epoch floor(now/period).
+  void advance_time(double now);
+
+  [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept {
+    return churned_ ? static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v])
+                    : base_->degree(v);
+  }
+
+  /// The contact target of v: weighted by the spec's weight model, over the
+  /// current epoch's adjacency. Precondition: degree(v) > 0.
+  [[nodiscard]] NodeId sample(NodeId v, rng::Engine& eng) const noexcept {
+    if (!churned_) {
+      if (base_weighted_ == nullptr) return base_->random_neighbor(v, eng);
+      return base_->neighbor_at(v, base_weighted_->sample_local(v, eng));
+    }
+    const std::size_t lo = offsets_[v];
+    if (!weighted_) {
+      return nbrs_[lo + rng::uniform_below(eng, offsets_[v + 1] - lo)];
+    }
+    return nbrs_[lo + sampler_.sample_local(v, eng)];
+  }
+
+  /// Current-epoch neighbors of v (test/diagnostic accessor).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    if (!churned_) return base_->neighbors(v);
+    return {nbrs_.data() + offsets_[v], nbrs_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  void set_epoch(std::uint64_t epoch);
+  void rebuild_overlay();
+
+  const graph::Graph* base_;
+  DynamicsSpec spec_;
+  const NeighborAliasTable* base_weighted_ = nullptr;
+  bool churned_ = false;   // a churn model is configured
+  bool weighted_ = false;  // a weight model is configured
+  std::uint64_t trial_stream_ = 0;
+  std::uint64_t epoch_ = 0;
+
+  // Churn state (untouched when !churned_).
+  const std::vector<graph::Edge>* base_edges_ = nullptr;  // shared or owned_
+  std::vector<graph::Edge> owned_base_edges_;  // backing store when not shared
+  std::vector<std::uint8_t> on_;            // kMarkov per-base-edge state
+  std::vector<graph::Edge> current_edges_;  // scratch: this epoch's edge set
+  std::vector<std::size_t> offsets_;        // overlay CSR offsets
+  std::vector<NodeId> nbrs_;                // overlay flat neighbors
+  std::vector<double> weights_;             // scratch: per-entry weights
+  NeighborAliasTable sampler_;              // overlay alias tables
+};
+
+}  // namespace rumor::dynamics

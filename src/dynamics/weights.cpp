@@ -1,0 +1,56 @@
+#include "dynamics/weights.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "dynamics/alias.hpp"
+#include "rng/rng.hpp"
+
+namespace rumor::dynamics {
+
+namespace {
+
+/// Uniform (0, 1] from a hash of (seed, unordered endpoint pair). Two
+/// SplitMix64 rounds so adjacent pairs decorrelate; the +1 ulp shift keeps
+/// the value strictly positive (safe under x^(-1/alpha)).
+double pair_uniform(std::uint64_t seed, NodeId v, NodeId w) noexcept {
+  const NodeId a = v < w ? v : w;
+  const NodeId b = v < w ? w : v;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+  rng::SplitMix64 sm(seed ^ (key * 0x9e3779b97f4a7c15ULL));
+  sm.next();
+  return (static_cast<double>(sm.next() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double edge_weight(const WeightParams& params, const graph::Graph& base, std::uint64_t seed,
+                   NodeId v, NodeId w) noexcept {
+  switch (params.model) {
+    case WeightModel::kUniform:
+      return 0.5 + pair_uniform(seed, v, w);
+    case WeightModel::kDegree:
+      return static_cast<double>(base.degree(v)) * static_cast<double>(base.degree(w));
+    case WeightModel::kHeavyTailed:
+      return std::pow(pair_uniform(seed, v, w), -1.0 / params.alpha);
+    case WeightModel::kNone: break;
+  }
+  assert(false && "edge_weight called with WeightModel::kNone");
+  return 1.0;
+}
+
+std::vector<double> make_edge_weights(const graph::Graph& g, const WeightParams& params,
+                                      std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> weights;
+  weights.reserve(2 * g.num_edges());
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId w : g.neighbors(v)) {
+      weights.push_back(edge_weight(params, g, seed, v, w));
+    }
+  }
+  return weights;
+}
+
+}  // namespace rumor::dynamics

@@ -1,0 +1,63 @@
+// rumor/dynamics: per-edge contact weights.
+//
+// Real contact networks are not uniform: commuting and road networks (see
+// PAPERS.md) carry heterogeneous contact intensities per link. This module
+// assigns every undirected edge {v, w} a positive weight from one of three
+// generators, and a protocol engine then contacts neighbors proportionally
+// to weight (via dynamics/alias.hpp).
+//
+// Weights are a *pure function* of (model, seed, endpoints, base degrees):
+// each edge's weight is a SplitMix64 hash of its endpoint pair, never a
+// draw from a sequential stream. That makes the assignment symmetric
+// (weight(v,w) == weight(w,v)), independent of construction order, stable
+// across epochs of a churn overlay (a rewired edge gets the same weight it
+// would get anywhere else), and bit-deterministic across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rumor::dynamics {
+
+using graph::NodeId;
+
+enum class WeightModel : std::uint8_t {
+  kNone,          // all contacts uniform (the paper's model)
+  kUniform,       // w ~ Uniform[0.5, 1.5): mild i.i.d. heterogeneity
+  kDegree,        // w = deg(v) * deg(w) over base degrees: hub-biased
+  kHeavyTailed,   // w ~ Pareto(alpha) on [1, inf): skewed intensities
+};
+
+[[nodiscard]] constexpr const char* weight_model_name(WeightModel m) noexcept {
+  switch (m) {
+    case WeightModel::kNone: return "none";
+    case WeightModel::kUniform: return "uniform";
+    case WeightModel::kDegree: return "degree";
+    case WeightModel::kHeavyTailed: return "heavy_tailed";
+  }
+  return "?";
+}
+
+struct WeightParams {
+  WeightModel model = WeightModel::kNone;
+  /// Pareto tail exponent for kHeavyTailed; smaller = heavier tail.
+  double alpha = 2.0;
+};
+
+/// The weight of undirected edge {v, w}. `base` supplies the degrees for
+/// kDegree; `seed` selects the hash family (the campaign resolves it from
+/// the configuration's dynamics seed). Always > 0. Precondition:
+/// params.model != kNone.
+[[nodiscard]] double edge_weight(const WeightParams& params, const graph::Graph& base,
+                                 std::uint64_t seed, NodeId v, NodeId w) noexcept;
+
+/// One weight per directed adjacency entry of `g`, aligned with `offsets`
+/// (csr_offsets(g)) and Graph::neighbor_at order — the layout
+/// NeighborAliasTable::build consumes. Symmetric entries get equal weights.
+[[nodiscard]] std::vector<double> make_edge_weights(const graph::Graph& g,
+                                                    const WeightParams& params,
+                                                    std::uint64_t seed);
+
+}  // namespace rumor::dynamics

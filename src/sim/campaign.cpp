@@ -10,6 +10,7 @@
 #include <map>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -93,18 +94,41 @@ Graph build_graph(const GraphSpec& spec, std::uint64_t fallback_seed) {
 
 namespace {
 
+/// The configuration's dynamics spec with its seed resolved (0 = derive
+/// from the configuration seed) — what views and reports actually use.
+dynamics::DynamicsSpec resolved_dynamics(const CampaignConfig& cfg) noexcept {
+  dynamics::DynamicsSpec spec = cfg.dynamics;
+  if (spec.seed == 0) spec.seed = cfg.seed;
+  return spec;
+}
+
 /// One execution of the configured protocol from `source`; the campaign
-/// analogue of the measure_* wrappers in harness.cpp.
-double run_one(const CampaignConfig& cfg, const Graph& g, graph::NodeId source,
-               rng::Engine& eng) {
+/// analogue of the measure_* wrappers in harness.cpp. The trial engine is
+/// derive_stream(stream_seed, trial); a non-static dynamics spec adds a
+/// per-trial overlay view whose churn streams derive from the same
+/// (stream_seed, trial) identity, so dynamic configurations keep the
+/// bit-determinism contract across thread counts and block sizes.
+double run_one(const CampaignConfig& cfg, const Graph& g,
+               const dynamics::NeighborAliasTable* shared_weighted,
+               const std::vector<graph::Edge>* shared_edges, graph::NodeId source,
+               std::uint64_t stream_seed, std::uint64_t trial) {
+  rng::Engine eng = rng::derive_stream(stream_seed, trial);
+  std::optional<dynamics::DynamicGraphView> view;
+  dynamics::DynamicGraphView* view_ptr = nullptr;
+  if (!cfg.dynamics.is_static()) {
+    view.emplace(g, resolved_dynamics(cfg), shared_weighted, stream_seed, trial, shared_edges);
+    view_ptr = &*view;
+  }
   switch (cfg.engine) {
     case EngineKind::kSync: {
       core::SyncOptions options;
       options.mode = cfg.mode;
       options.message_loss = cfg.message_loss;
+      options.dynamics = view_ptr;
       const auto result = core::run_sync(g, source, eng, options);
       if (!result.completed) {
-        throw std::runtime_error("campaign: run_sync hit the round cap (disconnected graph?)");
+        throw std::runtime_error(
+            "campaign: run_sync hit the round cap (disconnected or churned-out graph?)");
       }
       return static_cast<double>(result.rounds);
     }
@@ -113,9 +137,11 @@ double run_one(const CampaignConfig& cfg, const Graph& g, graph::NodeId source,
       options.mode = cfg.mode;
       options.view = cfg.view;
       options.message_loss = cfg.message_loss;
+      options.dynamics = view_ptr;
       const auto result = core::run_async(g, source, eng, options);
       if (!result.completed) {
-        throw std::runtime_error("campaign: run_async hit the step cap (disconnected graph?)");
+        throw std::runtime_error(
+            "campaign: run_async hit the step cap (disconnected or churned-out graph?)");
       }
       return result.time;
     }
@@ -194,6 +220,14 @@ std::vector<graph::NodeId> candidate_sources(const Graph& g, std::uint32_t max_c
 struct ConfigState {
   std::once_flag build_once;
   std::shared_ptr<const Graph> graph;
+  /// Static-weights fast path: one alias sampler per configuration, built
+  /// alongside the graph and shared (read-only) by every trial. Null when
+  /// the config is unweighted or churned (churn overlays build their own
+  /// per-epoch tables).
+  std::shared_ptr<const dynamics::NeighborAliasTable> weighted;
+  /// Churn configs: the base edge list, extracted once per configuration
+  /// and shared read-only by every trial's overlay view.
+  std::shared_ptr<const std::vector<graph::Edge>> edges;
   // Fixed-source pass (also the refine pass reuses refine_* below).
   std::vector<stats::StreamingSummary> partials;
   std::atomic<std::uint64_t> blocks_left{0};
@@ -295,6 +329,33 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
     r.seed = cfg.seed;
     r.source = cfg.source;
     r.source_policy = cfg.source_policy;
+    r.dynamics = resolved_dynamics(cfg);
+    if (!cfg.dynamics.is_static()) {
+      // Validate here (not in run_one, where a worker thread would race to
+      // report it) so API callers get the same guarantees the spec parser
+      // enforces. The engines only support dynamics where the contact
+      // sequence is drawn against the live adjacency.
+      if (cfg.engine != EngineKind::kSync && cfg.engine != EngineKind::kAsync) {
+        throw std::runtime_error("campaign: configuration '" + r.id +
+                                 "' has dynamics but engine '" + engine_name(cfg.engine) +
+                                 "' (dynamics needs sync or async)");
+      }
+      if (cfg.engine == EngineKind::kAsync && cfg.view != core::AsyncView::kGlobalClock) {
+        throw std::runtime_error("campaign: configuration '" + r.id +
+                                 "' has dynamics but a non-global-clock async view");
+      }
+      const dynamics::ChurnParams& churn = cfg.dynamics.churn;
+      const bool churn_probs_ok =
+          churn.model != dynamics::ChurnModel::kMarkov ||
+          (churn.birth >= 0.0 && churn.birth <= 1.0 && churn.death >= 0.0 && churn.death <= 1.0);
+      const bool rewire_ok = churn.model != dynamics::ChurnModel::kRewire ||
+                             (churn.rewire >= 0.0 && churn.rewire <= 1.0);
+      if (!churn_probs_ok || !rewire_ok || churn.period == 0 ||
+          cfg.dynamics.weights.alpha <= 0.0) {
+        throw std::runtime_error("campaign: configuration '" + r.id +
+                                 "' has out-of-range dynamics parameters");
+      }
+    }
     if (cfg.source_policy == SourcePolicy::kRace) {
       if (cfg.race.screen_trials == 0 || cfg.race.finalists == 0) {
         throw std::runtime_error("campaign: race configuration '" + r.id +
@@ -355,6 +416,18 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
       st.graph = cfg.prebuilt != nullptr
                      ? cfg.prebuilt
                      : std::make_shared<const Graph>(build_graph(cfg.graph, cfg.seed));
+      if (cfg.dynamics.weights.model != dynamics::WeightModel::kNone &&
+          cfg.dynamics.churn.model == dynamics::ChurnModel::kNone) {
+        const dynamics::DynamicsSpec spec = resolved_dynamics(cfg);
+        auto sampler = std::make_shared<dynamics::NeighborAliasTable>();
+        sampler->build(dynamics::csr_offsets(*st.graph),
+                       dynamics::make_edge_weights(*st.graph, spec.weights, spec.seed));
+        st.weighted = std::move(sampler);
+      }
+      if (cfg.dynamics.churn.model != dynamics::ChurnModel::kNone) {
+        st.edges = std::make_shared<const std::vector<graph::Edge>>(
+            dynamics::base_edge_list(*st.graph));
+      }
     });
   };
 
@@ -380,8 +453,8 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
         }
         stats::StreamingSummary partial(summary_options_for(cfg));
         for (std::uint64_t t = block.begin; t < block.end; ++t) {
-          rng::Engine eng = rng::derive_stream(cfg.seed, t);
-          partial.add(run_one(cfg, g, cfg.source, eng), t);
+          partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), cfg.source, cfg.seed, t),
+                      t);
         }
         st.partials[block.slot] = std::move(partial);
         if (st.blocks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -396,6 +469,8 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
           st.partials.clear();
           st.partials.shrink_to_fit();
           st.graph.reset();
+          st.weighted.reset();
+          st.edges.reset();
         }
         break;
       }
@@ -419,8 +494,7 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
         stats::RunningMoments partial;
         const std::uint64_t stream_seed = cfg.seed + kSourceStride * u;
         for (std::uint64_t t = block.begin; t < block.end; ++t) {
-          rng::Engine eng = rng::derive_stream(stream_seed, t);
-          partial.add(run_one(cfg, g, u, eng));
+          partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), u, stream_seed, t));
         }
         st.screen_partials[block.entrant][block.slot] = partial;
         if (st.screen_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -462,8 +536,7 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
         stats::StreamingSummary partial(summary_options_for(cfg));
         const std::uint64_t stream_seed = cfg.seed + 1 + kSourceStride * u;
         for (std::uint64_t t = block.begin; t < block.end; ++t) {
-          rng::Engine eng = rng::derive_stream(stream_seed, t);
-          partial.add(run_one(cfg, g, u, eng), t);
+          partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), u, stream_seed, t), t);
         }
         st.refine_partials[block.entrant][block.slot] = std::move(partial);
         if (st.refine_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -494,6 +567,8 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
           st.finalists.clear();
           st.candidates.clear();
           st.graph.reset();
+          st.weighted.reset();
+          st.edges.reset();
         }
         break;
       }
@@ -605,7 +680,100 @@ constexpr const char* kKnownKeys[] = {
     "average_degree", "graph_seed", "engine", "mode", "view", "aux",
     "source", "trials", "seed", "hp_q",    "reservoir_capacity",
     "message_loss", "screen_trials", "finalists", "final_trials", "max_candidates",
+    "race", "dynamics",
 };
+
+template <std::size_t N>
+bool known_key(const std::string& key, const char* const (&keys)[N]) {
+  return std::find_if(std::begin(keys), std::end(keys),
+                      [&key](const char* k) { return key == k; }) != std::end(keys);
+}
+
+/// Prefixes `error` with the nested block's name, so "unknown key" and
+/// range errors inside `race`/`dynamics` name both the block and the key.
+void prefix_block_error(std::string& error, const char* block) {
+  if (!error.empty() && error.rfind(block, 0) != 0) {
+    error = std::string(block) + error;
+  }
+}
+
+/// The nested `race` tuning block; the flat top-level keys remain as
+/// aliases (parsed after this, so they win on conflict).
+void apply_race_block(const Json& obj, SourceRaceOptions& race, std::string& error) {
+  // Bail on a pre-existing error: prefix_block_error below must only ever
+  // label errors that actually originated inside this block.
+  if (!error.empty()) return;
+  const Json* block = obj.find("race");
+  if (block == nullptr) return;
+  if (!block->is_object()) {
+    error = "key 'race' must be an object";
+    return;
+  }
+  static constexpr const char* kRaceKeys[] = {"screen_trials", "finalists", "final_trials",
+                                              "max_candidates"};
+  for (const auto& [key, value] : block->entries()) {
+    if (!known_key(key, kRaceKeys)) {
+      error = "race: unknown key '" + key + "'";
+      return;
+    }
+  }
+  race.screen_trials = uint_or(*block, "screen_trials", race.screen_trials, error);
+  race.finalists = static_cast<std::uint32_t>(uint_or(*block, "finalists", race.finalists, error));
+  race.final_trials = uint_or(*block, "final_trials", race.final_trials, error);
+  race.max_candidates =
+      static_cast<std::uint32_t>(uint_or(*block, "max_candidates", race.max_candidates, error));
+  prefix_block_error(error, "race: ");
+}
+
+/// The nested `dynamics` block: churn model + parameters and weight model
+/// + parameters. Merges over the defaults' block key by key.
+void apply_dynamics_block(const Json& obj, dynamics::DynamicsSpec& spec, std::string& error) {
+  // Bail on a pre-existing error: prefix_block_error below must only ever
+  // label errors that actually originated inside this block.
+  if (!error.empty()) return;
+  const Json* block = obj.find("dynamics");
+  if (block == nullptr) return;
+  if (!block->is_object()) {
+    error = "key 'dynamics' must be an object";
+    return;
+  }
+  static constexpr const char* kDynamicsKeys[] = {"churn",  "birth",        "death",
+                                                  "rewire_p", "period",     "weights",
+                                                  "weight_alpha", "dynamics_seed"};
+  for (const auto& [key, value] : block->entries()) {
+    if (!known_key(key, kDynamicsKeys)) {
+      error = "dynamics: unknown key '" + key + "'";
+      return;
+    }
+  }
+  const std::string churn = string_or(*block, "churn", "", error);
+  if (churn == "none") spec.churn.model = dynamics::ChurnModel::kNone;
+  else if (churn == "markov") spec.churn.model = dynamics::ChurnModel::kMarkov;
+  else if (churn == "rewire") spec.churn.model = dynamics::ChurnModel::kRewire;
+  else if (!churn.empty()) error = "unknown churn model '" + churn + "'";
+  spec.churn.birth = number_or(*block, "birth", spec.churn.birth, error);
+  spec.churn.death = number_or(*block, "death", spec.churn.death, error);
+  if (spec.churn.birth < 0.0 || spec.churn.birth > 1.0 || spec.churn.death < 0.0 ||
+      spec.churn.death > 1.0) {
+    error = "keys 'birth' and 'death' must be in [0, 1]";
+  }
+  spec.churn.rewire = number_or(*block, "rewire_p", spec.churn.rewire, error);
+  if (spec.churn.rewire < 0.0 || spec.churn.rewire > 1.0) {
+    error = "key 'rewire_p' must be in [0, 1]";
+  }
+  spec.churn.period = uint_or(*block, "period", spec.churn.period, error);
+  if (spec.churn.period == 0) error = "key 'period' must be >= 1";
+  const std::string weights = string_or(*block, "weights", "", error);
+  if (weights == "none") spec.weights.model = dynamics::WeightModel::kNone;
+  else if (weights == "uniform") spec.weights.model = dynamics::WeightModel::kUniform;
+  else if (weights == "degree") spec.weights.model = dynamics::WeightModel::kDegree;
+  else if (weights == "heavy_tailed") spec.weights.model = dynamics::WeightModel::kHeavyTailed;
+  else if (!weights.empty()) error = "unknown weight model '" + weights + "'";
+  spec.weights.alpha = number_or(*block, "weight_alpha", spec.weights.alpha, error);
+  if (spec.weights.alpha <= 0.0) error = "key 'weight_alpha' must be > 0";
+  spec.seed = uint_or(*block, "dynamics_seed", spec.seed, error);
+  prefix_block_error(error, "dynamics: ");
+}
 
 }  // namespace
 
@@ -650,6 +818,7 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
         error = "key 'source' must be a non-negative integer node id, \"fixed\", or \"race\"";
       }
     }
+    apply_race_block(obj, cfg.race, error);
     cfg.race.screen_trials = uint_or(obj, "screen_trials", cfg.race.screen_trials, error);
     if (cfg.race.screen_trials == 0) error = "key 'screen_trials' must be >= 1";
     cfg.race.finalists = static_cast<std::uint32_t>(
@@ -662,6 +831,7 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
     if (cfg.message_loss < 0.0 || cfg.message_loss >= 1.0) {
       error = "key 'message_loss' must be in [0, 1)";
     }
+    apply_dynamics_block(obj, cfg.dynamics, error);
     cfg.hp_q = number_or(obj, "hp_q", cfg.hp_q, error);
     if (cfg.hp_q < 0.0 || cfg.hp_q >= 1.0) error = "key 'hp_q' must be in [0, 1)";
     cfg.reservoir_capacity =
@@ -689,10 +859,7 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
   // The same typo protection configs get: every defaults key must be known,
   // and per-entry-only keys (id/graph/n) make no sense as shared values.
   for (const auto& [key, value] : defaults->entries()) {
-    const bool known = std::find_if(std::begin(kKnownKeys), std::end(kKnownKeys),
-                                    [&key = key](const char* k) { return key == k; }) !=
-                       std::end(kKnownKeys);
-    if (!known || key == "id" || key == "graph" || key == "n") {
+    if (!known_key(key, kKnownKeys) || key == "id" || key == "graph" || key == "n") {
       spec.error = "defaults: key '" + key + "' is not allowed here";
       return spec;
     }
@@ -720,9 +887,7 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
       return spec;
     }
     for (const auto& [key, value] : entry.entries()) {
-      if (std::find_if(std::begin(kKnownKeys), std::end(kKnownKeys),
-                       [&key = key](const char* k) { return key == k; }) ==
-          std::end(kKnownKeys)) {
+      if (!known_key(key, kKnownKeys)) {
         spec.error = where + ": unknown key '" + key + "'";
         return spec;
       }
@@ -786,11 +951,30 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
             spec.error = where + ": unknown mode '" + mode_str + "'";
             return spec;
           }
+          if (!cfg.dynamics.is_static()) {
+            // The same guarantees run_campaign enforces, caught at parse
+            // time where the message can cite the spec entry.
+            if (cfg.engine != EngineKind::kSync && cfg.engine != EngineKind::kAsync) {
+              spec.error = where + ": 'dynamics' needs engine 'sync' or 'async' (got '" +
+                           engine_str + "')";
+              return spec;
+            }
+            if (cfg.engine == EngineKind::kAsync && cfg.view != core::AsyncView::kGlobalClock) {
+              spec.error = where + ": 'dynamics' needs the global-clock async view";
+              return spec;
+            }
+          }
           std::string id = explicit_id;
           if (id.empty()) {
             id = cfg.graph.family + "_n" + std::to_string(cfg.graph.n) + "_" +
                  engine_name(cfg.engine) + "_" + core::mode_name(cfg.mode);
             if (cfg.source_policy == SourcePolicy::kRace) id += "_race";
+            if (cfg.dynamics.churn.model != dynamics::ChurnModel::kNone) {
+              id += std::string("_") + dynamics::churn_model_name(cfg.dynamics.churn.model);
+            }
+            if (cfg.dynamics.weights.model != dynamics::WeightModel::kNone) {
+              id += std::string("_w-") + dynamics::weight_model_name(cfg.dynamics.weights.model);
+            }
           }
           const int use = id_uses[id]++;
           if (use > 0) id += "#" + std::to_string(use);
@@ -821,6 +1005,27 @@ Json campaign_report(const CampaignResult& result, const std::string& campaign_n
   params.set("seed", result.seed);
   params.set("hp_q", result.hp_q);
   params.set("source_policy", source_policy_name(result.source_policy));
+  if (!result.dynamics.is_static()) {
+    // Dynamics parameters only appear when configured, so static reports
+    // (and every pre-dynamics baseline) keep their exact key set.
+    Json dyn = Json::object();
+    dyn.set("churn", dynamics::churn_model_name(result.dynamics.churn.model));
+    if (result.dynamics.churn.model == dynamics::ChurnModel::kMarkov) {
+      dyn.set("birth", result.dynamics.churn.birth);
+      dyn.set("death", result.dynamics.churn.death);
+    } else if (result.dynamics.churn.model == dynamics::ChurnModel::kRewire) {
+      dyn.set("rewire_p", result.dynamics.churn.rewire);
+    }
+    if (result.dynamics.churn.model != dynamics::ChurnModel::kNone) {
+      dyn.set("period", result.dynamics.churn.period);
+    }
+    dyn.set("weights", dynamics::weight_model_name(result.dynamics.weights.model));
+    if (result.dynamics.weights.model == dynamics::WeightModel::kHeavyTailed) {
+      dyn.set("weight_alpha", result.dynamics.weights.alpha);
+    }
+    dyn.set("dynamics_seed", result.dynamics.seed);
+    params.set("dynamics", std::move(dyn));
+  }
   report.set("params", std::move(params));
 
   const auto ci = s.mean_ci();

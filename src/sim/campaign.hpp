@@ -31,6 +31,7 @@
 #include "core/aux_process.hpp"
 #include "core/protocol.hpp"
 #include "core/sync.hpp"
+#include "dynamics/churn.hpp"
 #include "graph/graph.hpp"
 #include "stats/streaming.hpp"
 
@@ -119,6 +120,13 @@ struct CampaignConfig {
   graph::NodeId source = 0;  // measured source under SourcePolicy::kFixed
   SourcePolicy source_policy = SourcePolicy::kFixed;
   SourceRaceOptions race;  // used when source_policy == kRace
+  /// Temporal/weighted dynamics (dynamics/churn.hpp): a churn model applied
+  /// between rounds and/or per-edge contact weights. A static spec (the
+  /// default) leaves the engines' original paths — and their randomness
+  /// consumption — untouched. Requires a sync or async engine; the async
+  /// engine must use the global-clock view. Composes with every source
+  /// policy, including kRace. dynamics.seed == 0 derives from `seed`.
+  dynamics::DynamicsSpec dynamics;
   std::uint64_t trials = 200;
   std::uint64_t seed = 1;  // trial t runs on derive_stream(seed, t)
   /// T_q tail probability reported as hp_time; 0 means 1/trials (the
@@ -158,6 +166,7 @@ struct CampaignResult {
   graph::NodeId source = 0;       // fixed source, or the raced worst source
   graph::NodeId best_source = 0;  // kRace: best finalist
   double best_mean = 0.0;         // kRace: its refined mean
+  dynamics::DynamicsSpec dynamics;  // resolved copy (seed never 0 when active)
   stats::StreamingSummary summary;
 };
 
@@ -181,14 +190,19 @@ struct CampaignResult {
 ///       { "graph": "random_regular", "n": 512, "degree": 6,
 ///         "engine": ["sync", "async"], "graph_seed": 42 },
 ///       { "graph": "star", "n": 512, "source": "race",  // worst-source race
-///         "screen_trials": 10, "finalists": 4 } ] }
+///         "race": { "screen_trials": 10, "finalists": 4 } },
+///       { "graph": "hypercube", "n": 1024,               // churn + weights
+///         "dynamics": { "churn": "markov", "birth": 0.05, "death": 0.05,
+///                       "weights": "heavy_tailed", "weight_alpha": 1.5 } } ] }
 ///
 /// "n", "engine", and "mode" accept scalars or arrays; array-valued keys
 /// expand to their cross product, so a compact spec can describe thousands
 /// of configurations. "source" is a node id (fixed policy) or the string
-/// "race" (worst-source racing, tuned by "screen_trials" / "finalists" /
-/// "final_trials" / "max_candidates"). See bench/README.md for the full
-/// key reference.
+/// "race" (worst-source racing, tuned by the nested "race" block — or the
+/// equivalent flat keys "screen_trials" / "finalists" / "final_trials" /
+/// "max_candidates"). "dynamics" configures churn overlays and weighted
+/// contact rates; unknown keys inside the nested blocks are rejected with
+/// an error naming the key. See bench/README.md for the full reference.
 struct CampaignSpec {
   std::string name;  // defaults to "campaign"
   std::vector<CampaignConfig> configs;

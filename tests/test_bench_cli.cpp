@@ -1,6 +1,7 @@
 // Smoke tests for the rumor_bench experiment registry: the driver binary
-// must list all fifteen paper experiments, run one by name with CLI
-// overrides, and emit JSON that parses and carries the documented keys.
+// must list all seventeen experiments (the fifteen paper experiments plus
+// the e16/e17 dynamics extensions), run one by name with CLI overrides,
+// and emit JSON that parses and carries the documented keys.
 // Also unit-tests the sim::Json document type the reports are built from.
 #include <gtest/gtest.h>
 
@@ -103,14 +104,14 @@ TEST(Json, RejectsPathologicallyDeepNesting) {
 
 // --- Registry smoke tests via the real binary --------------------------------
 
-TEST(BenchCli, ListNamesAllFifteenExperiments) {
+TEST(BenchCli, ListNamesAllSeventeenExperiments) {
   int status = 0;
   const std::string out = run_bench("--list", &status);
   EXPECT_EQ(status, 0);
   for (const char* name :
        {"e1_overview", "e2_theorem1", "e3_star", "e4_theorem2", "e5_regular", "e6_blocks",
         "e7_chain", "e8_push", "e9_micro", "e10_expansion", "e11_faults", "e12_discretization",
-        "e13_sources", "e14_averaging", "e15_quasirandom"}) {
+        "e13_sources", "e14_averaging", "e15_quasirandom", "e16_churn", "e17_weighted"}) {
     EXPECT_NE(out.find(name), std::string::npos) << "missing " << name << " in:\n" << out;
   }
 }
@@ -120,7 +121,7 @@ TEST(BenchCli, ListJsonParsesWithTitles) {
   const auto parsed = sim::Json::parse(out);
   ASSERT_TRUE(parsed.has_value()) << out;
   ASSERT_TRUE(parsed->is_array());
-  ASSERT_EQ(parsed->size(), 15u);
+  ASSERT_EQ(parsed->size(), 17u);
   for (const auto& entry : parsed->elements()) {
     ASSERT_NE(entry.find("experiment"), nullptr);
     ASSERT_NE(entry.find("title"), nullptr);
@@ -307,6 +308,31 @@ TEST(BenchCli, CampaignRaceCellReportsWorstSource) {
     ASSERT_NE(stats->find(key), nullptr) << key;
   }
   EXPECT_LT(stats->find("worst_source")->as_number(), 48.0);
+  std::remove(spec.c_str());
+}
+
+TEST(BenchCli, CampaignDynamicsCellCarriesParams) {
+  // A churn+weighted cell through the real binary: the report must mark
+  // its params with the dynamics block and stay machine-parseable.
+  const std::string spec = write_spec("bench_cli_dynamics.json", R"({
+    "name": "dyntest",
+    "configs": [
+      {"graph": "hypercube", "n": 64, "trials": 8, "seed": 3,
+       "dynamics": {"churn": "markov", "birth": 0.2, "death": 0.2,
+                    "weights": "heavy_tailed", "weight_alpha": 1.5}}
+    ]})");
+  int status = 0;
+  const std::string out = run_bench("--campaign " + spec + " --json --threads 2", &status);
+  EXPECT_EQ(status, 0);
+  const auto parsed = sim::Json::parse(out);
+  ASSERT_TRUE(parsed.has_value()) << out;
+  EXPECT_EQ(parsed->find("experiment")->as_string(),
+            "dyntest/hypercube_n64_sync_push-pull_markov_w-heavy_tailed");
+  const sim::Json* dyn = parsed->find("params")->find("dynamics");
+  ASSERT_NE(dyn, nullptr);
+  EXPECT_EQ(dyn->find("churn")->as_string(), "markov");
+  EXPECT_EQ(dyn->find("weights")->as_string(), "heavy_tailed");
+  EXPECT_GT(parsed->find("rows")->elements().front().find("mean")->as_number(), 0.0);
   std::remove(spec.c_str());
 }
 

@@ -22,8 +22,19 @@ Two gates, both reading the stable report schema of sim/experiment.hpp:
   latter: an engine change that alters trial-level randomness must ship
   with a refreshed baseline (see bench/README.md for the refresh command).
 
+* **Normalized throughput** (``--normalize PRIMITIVE``, typically
+  ``rng_next``): before comparing, divide every ns_per_op by the named
+  primitive's ns_per_op *within its own report* — current and baseline
+  alike. The gate then compares relative costs (how many rng_next calls a
+  primitive is worth), which cancels the runner's overall clock/IPC and
+  makes a much tighter ``--tolerance`` viable across heterogeneous
+  hardware. The reference primitive itself always ratios at 1.0 under this
+  mode, so its absolute regression is *not* gated — keep one un-normalized
+  run if that matters (ROADMAP "perf trajectory, phase 3").
+
 Usage:
   perf_diff.py BENCH_pr.json bench/BASELINE_e9.json [--tolerance 5.0] \
+      [--normalize rng_next] \
       [--times bench/BASELINE_times.json] [--time-tolerance 1.25]
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
@@ -66,6 +77,14 @@ def load_family_means(path):
         }
         for row in report.get("rows", [])
     }
+
+
+def normalize_rows(rows, primitive, label):
+    """Divides every ns_per_op by `primitive`'s value within the same report."""
+    ref = rows.get(primitive)
+    if ref is None or ref <= 0.0:
+        raise KeyError(f"{label}: cannot normalize by '{primitive}' (missing or zero)")
+    return {name: ns / ref for name, ns in rows.items()}
 
 
 def diff_e9(current, baseline, tolerance):
@@ -135,6 +154,13 @@ def main():
         help="max allowed ns_per_op ratio current/baseline (default: 5.0)",
     )
     parser.add_argument(
+        "--normalize",
+        metavar="PRIMITIVE",
+        help="divide each report's ns_per_op by this primitive's own value "
+        "before comparing (e.g. rng_next); gates relative costs, which are "
+        "hardware-independent, so the tolerance can be much tighter",
+    )
+    parser.add_argument(
         "--times",
         help="checked-in spreading-time baseline (bench/BASELINE_times.json); "
         "enables the e1_overview per-family mean gate",
@@ -151,6 +177,10 @@ def main():
     try:
         current = load_e9_rows(args.current)
         baseline = load_e9_rows(args.baseline)
+        if args.normalize:
+            current = normalize_rows(current, args.normalize, "current")
+            baseline = normalize_rows(baseline, args.normalize, "baseline")
+            print(f"(ns_per_op normalized by each report's own '{args.normalize}')")
         time_pairs = None
         if args.times:
             time_pairs = (
