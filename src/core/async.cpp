@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/event_queue.hpp"
 #include "dynamics/churn.hpp"
 
 namespace rumor::core {
@@ -111,6 +112,11 @@ AsyncResult run_per_node_clocks(const Graph& g, NodeId source, rng::Engine& eng,
   return result;
 }
 
+/// Packs an ordered adjacent pair into an EventQueue payload.
+constexpr std::uint64_t pack_edge(NodeId v, NodeId w) noexcept {
+  return (static_cast<std::uint64_t>(v) << 32) | w;
+}
+
 AsyncResult run_per_edge_clocks(const Graph& g, NodeId source, rng::Engine& eng,
                                 const AsyncOptions& options, std::uint64_t cap) {
   const NodeId n = g.num_nodes();
@@ -118,19 +124,63 @@ AsyncResult run_per_edge_clocks(const Graph& g, NodeId source, rng::Engine& eng,
   result.informed_time.assign(n, kNeverTime);
   NodeId informed_count = seed_sources(source, options, result.informed_time);
 
-  // One clock per ordered adjacent pair (v, w), rate 1/deg(v). The heap
-  // stores (time, v, w); re-armed after each fire.
+  // One clock per ordered adjacent pair (v, w), rate 1/deg(v); re-armed
+  // after each fire. The calendar queue replaces the old binary heap: the
+  // aggregate rate is sum_v deg(v)/deg(v) = n, which sizes its buckets.
+  // Pops follow strictly increasing timestamps, so the engine consumes
+  // randomness in exactly the heap's order (run_async_reference below is
+  // the retained oracle; equivalence is pinned in tests/test_fastpath.cpp).
+  EventQueue clock(static_cast<double>(n), 2 * g.num_edges());
+  for (NodeId v = 0; v < n; ++v) {
+    const double rate = 1.0 / static_cast<double>(g.degree(v));
+    for (NodeId w : g.neighbors(v)) {
+      clock.push(rng::exponential(eng, rate), pack_edge(v, w));
+    }
+  }
+
+  double now = 0.0;
+  std::uint64_t steps = 0;
+  while (informed_count < n && steps < cap && !clock.empty()) {
+    const EventQueue::Event tick = clock.pop_min();
+    const auto v = static_cast<NodeId>(tick.payload >> 32);
+    const auto w = static_cast<NodeId>(tick.payload & 0xffffffffu);
+    now = tick.t;
+    ++steps;
+    const double rate = 1.0 / static_cast<double>(g.degree(v));
+    clock.push(now + rng::exponential(eng, rate), tick.payload);
+    if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
+    exchange(options.mode, v, w, now, result.informed_time, informed_count);
+  }
+  result.time = now;
+  result.steps = steps;
+  result.completed = (informed_count == n);
+  return result;
+}
+
+/// The retained per-edge reference: the original binary-heap event loop,
+/// kept verbatim as the acceptance oracle for the calendar queue.
+AsyncResult run_per_edge_clocks_heap(const Graph& g, NodeId source, rng::Engine& eng,
+                                     const AsyncOptions& options, std::uint64_t cap) {
+  const NodeId n = g.num_nodes();
+  AsyncResult result;
+  result.informed_time.assign(n, kNeverTime);
+  NodeId informed_count = seed_sources(source, options, result.informed_time);
+
   struct EdgeTick {
     double t;
     NodeId v;
     NodeId w;
-    bool operator>(const EdgeTick& o) const noexcept { return t > o.t; }
+    std::uint64_t seq;
+    bool operator>(const EdgeTick& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;  // FIFO among exact ties
+    }
   };
   std::priority_queue<EdgeTick, std::vector<EdgeTick>, std::greater<>> clock;
+  std::uint64_t seq = 0;
   for (NodeId v = 0; v < n; ++v) {
     const double rate = 1.0 / static_cast<double>(g.degree(v));
     for (NodeId w : g.neighbors(v)) {
-      clock.push(EdgeTick{rng::exponential(eng, rate), v, w});
+      clock.push(EdgeTick{rng::exponential(eng, rate), v, w, seq++});
     }
   }
 
@@ -142,7 +192,7 @@ AsyncResult run_per_edge_clocks(const Graph& g, NodeId source, rng::Engine& eng,
     now = tick.t;
     ++steps;
     const double rate = 1.0 / static_cast<double>(g.degree(tick.v));
-    clock.push(EdgeTick{now + rng::exponential(eng, rate), tick.v, tick.w});
+    clock.push(EdgeTick{now + rng::exponential(eng, rate), tick.v, tick.w, seq++});
     if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
     exchange(options.mode, tick.v, tick.w, now, result.informed_time, informed_count);
   }
@@ -150,6 +200,27 @@ AsyncResult run_per_edge_clocks(const Graph& g, NodeId source, rng::Engine& eng,
   result.steps = steps;
   result.completed = (informed_count == n);
   return result;
+}
+
+/// Shared dispatcher: run_async and run_async_reference differ only in the
+/// per-edge implementation, so the precondition guard and cap derivation
+/// cannot drift apart between the production engine and its oracle.
+AsyncResult dispatch_async(const Graph& g, NodeId source, rng::Engine& eng,
+                           const AsyncOptions& options,
+                           AsyncResult (*per_edge)(const Graph&, NodeId, rng::Engine&,
+                                                   const AsyncOptions&, std::uint64_t)) {
+  assert(source < g.num_nodes());
+  if (options.dynamics != nullptr && options.view != AsyncView::kGlobalClock) {
+    throw std::runtime_error("run_async: dynamics overlays need the global-clock view");
+  }
+  const std::uint64_t cap =
+      options.max_steps != 0 ? options.max_steps : default_step_cap(g.num_nodes());
+  switch (options.view) {
+    case AsyncView::kGlobalClock: return run_global_clock(g, source, eng, options, cap);
+    case AsyncView::kPerNodeClocks: return run_per_node_clocks(g, source, eng, options, cap);
+    case AsyncView::kPerEdgeClocks: return per_edge(g, source, eng, options, cap);
+  }
+  return {};
 }
 
 }  // namespace
@@ -162,18 +233,12 @@ std::uint64_t default_step_cap(NodeId n) noexcept {
 
 AsyncResult run_async(const Graph& g, NodeId source, rng::Engine& eng,
                       const AsyncOptions& options) {
-  assert(source < g.num_nodes());
-  if (options.dynamics != nullptr && options.view != AsyncView::kGlobalClock) {
-    throw std::runtime_error("run_async: dynamics overlays need the global-clock view");
-  }
-  const std::uint64_t cap =
-      options.max_steps != 0 ? options.max_steps : default_step_cap(g.num_nodes());
-  switch (options.view) {
-    case AsyncView::kGlobalClock: return run_global_clock(g, source, eng, options, cap);
-    case AsyncView::kPerNodeClocks: return run_per_node_clocks(g, source, eng, options, cap);
-    case AsyncView::kPerEdgeClocks: return run_per_edge_clocks(g, source, eng, options, cap);
-  }
-  return {};
+  return dispatch_async(g, source, eng, options, &run_per_edge_clocks);
+}
+
+AsyncResult run_async_reference(const Graph& g, NodeId source, rng::Engine& eng,
+                                const AsyncOptions& options) {
+  return dispatch_async(g, source, eng, options, &run_per_edge_clocks_heap);
 }
 
 }  // namespace rumor::core

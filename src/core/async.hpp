@@ -56,6 +56,15 @@ struct AsyncOptions {
 [[nodiscard]] AsyncResult run_async(const Graph& g, NodeId source, rng::Engine& eng,
                                     const AsyncOptions& options = {});
 
+/// The retained reference engine: identical to run_async except that the
+/// per-edge view runs on the original binary heap instead of the calendar
+/// EventQueue (event_queue.hpp). Both pop events in strictly increasing
+/// timestamp order with FIFO tie-breaking, so results — and engine state —
+/// are bit-identical; kept as the acceptance oracle for the bucketed queue
+/// (tests/test_fastpath.cpp), not for production use.
+[[nodiscard]] AsyncResult run_async_reference(const Graph& g, NodeId source, rng::Engine& eng,
+                                              const AsyncOptions& options = {});
+
 /// Default step cap used when AsyncOptions::max_steps == 0.
 [[nodiscard]] std::uint64_t default_step_cap(NodeId n) noexcept;
 

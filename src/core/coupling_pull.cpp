@@ -6,6 +6,7 @@
 #include <limits>
 #include <queue>
 
+#include "core/informed_set.hpp"
 #include "core/sync.hpp"
 
 namespace rumor::core {
@@ -49,9 +50,11 @@ class SharedTables {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// State shared by the ppx and ppy round loops.
+/// State shared by the ppx and ppy round loops. Membership ("was v ever
+/// stamped?") is backed by an InformedSet alongside the round stamps.
 struct SyncPullState {
   std::vector<std::uint64_t> informed_round;
+  InformedSet informed;           // v stamped <=> informed.test(v)
   std::vector<double> best_val;   // min over informed nbrs w of r_w + Y_{v,w}
   std::vector<std::uint32_t> informed_neighbors;
   std::vector<std::uint64_t> z_round;  // ppx only: first round with k >= deg/2
@@ -62,6 +65,7 @@ SyncPullState make_state(const Graph& g) {
   SyncPullState st;
   const NodeId n = g.num_nodes();
   st.informed_round.assign(n, kNeverRound);
+  st.informed.assign(n);
   st.best_val.assign(n, kInf);
   st.informed_neighbors.assign(n, 0);
   st.z_round.assign(n, kNeverRound);
@@ -74,10 +78,11 @@ SyncPullState make_state(const Graph& g) {
 void commit_informed(const Graph& g, SharedTables& tables, SyncPullState& st, NodeId v,
                      std::uint64_t r) {
   st.informed_round[v] = r;
+  st.informed.set(v);
   ++st.informed_count;
   for (NodeId x : g.neighbors(v)) {
     ++st.informed_neighbors[x];
-    if (st.informed_round[x] != kNeverRound) continue;
+    if (st.informed.test(x)) continue;
     const std::uint32_t slot = g.neighbor_index(x, v);
     const double candidate = static_cast<double>(r) + tables.y(x, slot);
     st.best_val[x] = std::min(st.best_val[x], candidate);
@@ -102,16 +107,18 @@ std::vector<std::uint64_t> run_sync_coupled(const Graph& g, NodeId source, Share
   for (std::uint64_t r = 1; st.informed_count < n && r <= cap; ++r) {
     newly.clear();
 
-    // Push side: v pushes to X_{v, r - r_v}.
-    for (NodeId v = 0; v < n; ++v) {
-      if (st.informed_round[v] >= r) continue;  // uninformed or informed this round
+    // Push side: v pushes to X_{v, r - r_v}. During the scan every stamp is
+    // < r (commits happen at round end), so the informed-set word scan
+    // enumerates exactly the stamped nodes in the original ascending order —
+    // X consumption, and hence every sampled bit, is unchanged.
+    st.informed.for_each([&](NodeId v) {
       const NodeId w = tables.push_target(v, r - st.informed_round[v]);
-      if (st.informed_round[w] == kNeverRound) newly.push_back(w);
-    }
+      if (!st.informed.test(w)) newly.push_back(w);
+    });
 
     // Pull side: fires per the coupling rule.
     for (NodeId v = 0; v < n; ++v) {
-      if (st.informed_round[v] != kNeverRound) continue;
+      if (st.informed.test(v)) continue;
       bool fires = false;
       if (forced_pull && st.z_round[v] != kNeverRound) {
         // ppx case (ii): half the neighborhood informed by end of round z —
@@ -127,7 +134,7 @@ std::vector<std::uint64_t> run_sync_coupled(const Graph& g, NodeId source, Share
     }
 
     for (NodeId v : newly) {
-      if (st.informed_round[v] == kNeverRound) commit_informed(g, tables, st, v, r);
+      if (!st.informed.test(v)) commit_informed(g, tables, st, v, r);
     }
   }
   completed = (st.informed_count == n);
@@ -149,17 +156,19 @@ std::vector<double> run_async_coupled(const Graph& g, NodeId source, SharedTable
     bool operator>(const Event& o) const noexcept { return t > o.t; }
   };
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  InformedSet informed(n);
   NodeId informed_count = 0;
 
   // Marks v informed at time t and schedules its consequences.
   auto inform = [&](NodeId v, double t) {
     informed_time[v] = t;
+    informed.set(v);
     ++informed_count;
     // First push tick of v.
     queue.push(Event{t + rng::exponential(eng, 1.0), v, 1});
     // Pull candidates of uninformed neighbors x: first C_{x,v} tick after t.
     for (NodeId x : g.neighbors(v)) {
-      if (informed_time[x] != kNeverTime) continue;
+      if (informed.test(x)) continue;
       const std::uint32_t slot = g.neighbor_index(x, v);
       queue.push(Event{t + 2.0 * tables.y(x, slot), x, 0});
     }
@@ -174,12 +183,12 @@ std::vector<double> run_async_coupled(const Graph& g, NodeId source, SharedTable
     if (ev.i >= 1) {
       // Push tick i of ev.node (informed by construction).
       const NodeId target = tables.push_target(ev.node, ev.i);
-      if (informed_time[target] == kNeverTime) inform(target, ev.t);
+      if (!informed.test(target)) inform(target, ev.t);
       queue.push(Event{ev.t + rng::exponential(eng, 1.0), ev.node, ev.i + 1});
     } else {
       // Pull candidate: events pop in time order, so the first one that
       // finds ev.node still uninformed is exactly min_w { t_w + 2 Y }.
-      if (informed_time[ev.node] == kNeverTime) inform(ev.node, ev.t);
+      if (!informed.test(ev.node)) inform(ev.node, ev.t);
     }
   }
   completed = (informed_count == n);

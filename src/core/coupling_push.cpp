@@ -6,6 +6,7 @@
 #include <queue>
 #include <utility>
 
+#include "core/informed_set.hpp"
 #include "core/sync.hpp"
 
 namespace rumor::core {
@@ -50,23 +51,23 @@ PushCoupledRun run_push_coupling(const Graph& g, NodeId source, rng::Engine& eng
   PushCoupledRun run;
 
   // --- Synchronous push on the table ---------------------------------------
+  // Membership lives in an InformedSet (informed_set.hpp): the informed-set
+  // word scan enumerates exactly the nodes the original full scan selected
+  // (ascending ids with round_push < r), so the X_{v,i} consumption order —
+  // and hence every sampled bit — is unchanged.
   run.round_push.assign(n, kNeverRound);
   run.round_push[source] = 0;
+  InformedSet informed(n);
+  InformedSet pending(n);
+  informed.set(source);
   NodeId informed_sync = 1;
-  std::vector<NodeId> newly;
   for (std::uint64_t r = 1; informed_sync < n && r <= cap; ++r) {
-    newly.clear();
-    for (NodeId v = 0; v < n; ++v) {
-      if (run.round_push[v] >= r) continue;  // uninformed (or this round)
+    informed.for_each([&](NodeId v) {
       const NodeId w = table.target(v, r - run.round_push[v]);
-      if (run.round_push[w] == kNeverRound) newly.push_back(w);
-    }
-    for (NodeId w : newly) {
-      if (run.round_push[w] == kNeverRound) {
-        run.round_push[w] = r;
-        ++informed_sync;
-      }
-    }
+      if (!informed.test(w)) pending.set(w);
+    });
+    informed_sync +=
+        informed.absorb_drain(pending, [&](NodeId w) { run.round_push[w] = r; });
   }
 
   // --- Asynchronous push on the same table ----------------------------------
@@ -81,9 +82,11 @@ PushCoupledRun run_push_coupling(const Graph& g, NodeId source, rng::Engine& eng
     bool operator>(const Tick& o) const noexcept { return t > o.t; }
   };
   std::priority_queue<Tick, std::vector<Tick>, std::greater<>> ticks;
+  InformedSet informed_a(n);
   NodeId informed_async = 0;
   auto inform = [&](NodeId v, double t) {
     run.time_push_a[v] = t;
+    informed_a.set(v);
     ++informed_async;
     ticks.push(Tick{t + rng::exponential(eng, 1.0), v, 1});
   };
@@ -97,7 +100,7 @@ PushCoupledRun run_push_coupling(const Graph& g, NodeId source, rng::Engine& eng
     ticks.pop();
     if (tick.t > time_cap) break;
     const NodeId w = table.target(tick.v, tick.i);
-    if (run.time_push_a[w] == kNeverTime) inform(w, tick.t);
+    if (!informed_a.test(w)) inform(w, tick.t);
     ticks.push(Tick{tick.t + rng::exponential(eng, 1.0), tick.v, tick.i + 1});
   }
 

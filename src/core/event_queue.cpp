@@ -1,0 +1,120 @@
+#include "core/event_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+
+namespace rumor::core {
+
+namespace {
+
+/// Target number of imminent events per bucket. Larger buckets amortize the
+/// per-bucket refinement and keep the header array small (L2-resident);
+/// the per-event sort cost stays O(log k).
+constexpr double kTargetOccupancy = 16.0;
+
+std::size_t window_buckets(std::size_t expected_events) {
+  // Enough buckets that a typical re-arm lands inside the window, clamped
+  // so degenerate hints cannot balloon memory.
+  const std::size_t want = std::clamp<std::size_t>(expected_events / 8, 64, 1u << 14);
+  return std::bit_ceil(want);
+}
+
+}  // namespace
+
+EventQueue::EventQueue(double expected_total_rate, std::size_t expected_events) {
+  const double width =
+      expected_total_rate > 0.0 ? kTargetOccupancy / expected_total_rate : 1.0;
+  inv_width_ = 1.0 / width;
+  buckets_.resize(window_buckets(expected_events));
+}
+
+void EventQueue::push(double t, std::uint64_t payload) {
+  assert(t >= 0.0);
+  ++size_;
+  std::uint64_t idx = bucket_index(t);
+  // Engines only push re-arms at or after the last popped time, whose
+  // bucket the cursor has not passed; a generic caller pushing into the
+  // swept past is clamped to the cursor bucket, which still pops in the
+  // correct order (the bucket is kept sorted once the cursor entered it).
+  if (idx < base_ + cursor_) idx = base_ + cursor_;
+  if (idx >= base_ + buckets_.size()) {
+    overflow_.push_back(Item{t, payload});
+    return;
+  }
+  std::vector<Item>& bucket = buckets_[static_cast<std::size_t>(idx - base_)];
+  if (idx == base_ + cursor_ && cursor_sorted_) {
+    // The cursor already refined this bucket: keep it sorted, inserting
+    // after equal timestamps (FIFO) and never before the next pop slot.
+    std::size_t at = bucket.size();
+    while (at > pop_pos_ && bucket[at - 1].t > t) --at;
+    bucket.insert(bucket.begin() + static_cast<std::ptrdiff_t>(at), Item{t, payload});
+    return;
+  }
+  bucket.push_back(Item{t, payload});
+}
+
+EventQueue::Event EventQueue::pop_min() {
+  assert(size_ > 0);
+  for (;;) {
+    std::vector<Item>& bucket = buckets_[cursor_];
+    if (!cursor_sorted_ && !bucket.empty()) {
+      sort_bucket(bucket);
+      pop_pos_ = 0;
+      cursor_sorted_ = true;
+    }
+    if (cursor_sorted_ && pop_pos_ < bucket.size()) break;
+    // Cursor bucket drained: release it and move on.
+    bucket.clear();
+    cursor_sorted_ = false;
+    pop_pos_ = 0;
+    ++cursor_;
+    while (cursor_ < buckets_.size() && buckets_[cursor_].empty()) ++cursor_;
+    if (cursor_ == buckets_.size()) advance_window();
+  }
+  const Item& item = buckets_[cursor_][pop_pos_++];
+  --size_;
+  return Event{item.t, item.payload};
+}
+
+void EventQueue::sort_bucket(std::vector<Item>& bucket) {
+  // Insertion sort: stable (push order survives among equal timestamps)
+  // and ideal for the O(kTargetOccupancy) items a bucket holds.
+  for (std::size_t i = 1; i < bucket.size(); ++i) {
+    const Item item = bucket[i];
+    std::size_t j = i;
+    while (j > 0 && bucket[j - 1].t > item.t) {
+      bucket[j] = bucket[j - 1];
+      --j;
+    }
+    bucket[j] = item;
+  }
+}
+
+void EventQueue::advance_window() {
+  assert(!overflow_.empty() && "pop_min on an empty window without overflow");
+  ++refinements_;
+  double min_t = std::numeric_limits<double>::infinity();
+  for (const Item& item : overflow_) min_t = std::min(min_t, item.t);
+  base_ = bucket_index(min_t);
+  cursor_ = 0;
+  pop_pos_ = 0;
+  cursor_sorted_ = false;
+  // Refine: move every overflow event that now falls inside the window into
+  // its bucket (in push order, keeping ties FIFO); compact the remainder.
+  std::size_t keep = 0;
+  const std::uint64_t end = base_ + buckets_.size();
+  for (const Item& item : overflow_) {
+    const std::uint64_t idx = bucket_index(item.t);
+    if (idx < end) {
+      buckets_[static_cast<std::size_t>(idx - base_)].push_back(item);
+    } else {
+      overflow_[keep++] = item;
+    }
+  }
+  overflow_.resize(keep);
+  while (buckets_[cursor_].empty()) ++cursor_;  // min bucket is non-empty
+}
+
+}  // namespace rumor::core

@@ -1,0 +1,93 @@
+// rumor/core: a calendar (bucketed) event queue for Poisson-clock engines.
+//
+// The per-edge asynchronous view schedules one event per ordered adjacent
+// pair and, on every step, pops the global minimum and re-arms the fired
+// clock — 2m events alive at all times, one pop + one push per step. A
+// binary heap pays O(log 2m) cache-hostile swaps for each; this queue is a
+// calendar structure (Brown 1988) with *lazy bucket refinement*:
+//
+//   * The timeline is cut into buckets of fixed width, sized from the
+//     aggregate event rate so one bucket holds a handful of imminent
+//     events. A sliding window of consecutive buckets covers the near
+//     future; pushes beyond it land in one unsorted overflow list.
+//   * Buckets are plain unsorted vectors until the pop cursor *enters*
+//     one — only then is it insertion-sorted (ascending time, push order
+//     among ties), after which every pop inside it is a pointer bump.
+//     Events are refined exactly once, when they are about to matter.
+//   * When the cursor exhausts the window, the window jumps to the
+//     overflow's minimum and the overflow is redistributed — the second
+//     level of the same deferral.
+//
+// The bucket partition guarantees every event in bucket b precedes every
+// event in bucket b+1, so the sorted cursor bucket yields the global
+// minimum. Determinism: pops follow non-decreasing timestamps; equal
+// timestamps pop in push order (FIFO — buckets preserve push order until
+// sorted, the sort is stable, and sorted-bucket inserts go after equal
+// times). The engines' randomness is consumed in pop order, so replacing
+// the heap cannot move a sampled bit unless two timestamps collide
+// exactly — and then the FIFO rule is pinned here and verified against the
+// retained heap reference in tests/test_fastpath.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rumor::core {
+
+class EventQueue {
+ public:
+  struct Event {
+    double t = 0.0;
+    std::uint64_t payload = 0;
+  };
+
+  /// `expected_total_rate` is the aggregate rate of all concurrent Poisson
+  /// clocks (events per time unit; the per-edge view's is n) — it sets the
+  /// bucket width so a bucket holds O(1) imminent events. `expected_events`
+  /// sizes the window (number of buckets). Both are hints: any positive
+  /// workload stays correct, only the constants degrade.
+  EventQueue(double expected_total_rate, std::size_t expected_events);
+
+  void push(double t, std::uint64_t payload);
+
+  /// Removes and returns the event with the smallest timestamp (FIFO among
+  /// exact ties). Precondition: !empty().
+  [[nodiscard]] Event pop_min();
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Number of lazy window refinements so far (diagnostic; e9 reports it).
+  [[nodiscard]] std::uint64_t refinements() const noexcept { return refinements_; }
+
+ private:
+  struct Item {
+    double t;
+    std::uint64_t payload;
+  };
+
+  [[nodiscard]] std::uint64_t bucket_index(double t) const noexcept {
+    return static_cast<std::uint64_t>(t * inv_width_);
+  }
+
+  /// Stable insertion sort by time: buckets hold push order, so equal
+  /// timestamps stay FIFO.
+  static void sort_bucket(std::vector<Item>& bucket);
+
+  /// Moves the window to the overflow's minimum bucket and refines every
+  /// overflow event that now falls inside it. Precondition: all buckets
+  /// empty, overflow non-empty. Leaves cursor_ on a non-empty bucket.
+  void advance_window();
+
+  double inv_width_;                        // 1 / bucket width
+  std::uint64_t base_ = 0;                  // absolute index of buckets_[0]
+  std::size_t cursor_ = 0;                  // the bucket pops come from
+  std::size_t pop_pos_ = 0;                 // next item inside the cursor bucket
+  bool cursor_sorted_ = false;              // cursor bucket has been refined
+  std::vector<std::vector<Item>> buckets_;  // the window
+  std::vector<Item> overflow_;              // unrefined far future
+  std::size_t size_ = 0;
+  std::uint64_t refinements_ = 0;
+};
+
+}  // namespace rumor::core

@@ -1,0 +1,27 @@
+#include "core/informed_set.hpp"
+
+#include <algorithm>
+
+namespace rumor::core {
+
+void InformedSet::assign(NodeId n) {
+  size_ = n;
+  words_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+}
+
+void InformedSet::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+NodeId InformedSet::count() const noexcept {
+  NodeId total = 0;
+  for (std::uint64_t word : words_) total += static_cast<NodeId>(std::popcount(word));
+  return total;
+}
+
+bool InformedSet::is_subset_of(const InformedSet& other) const noexcept {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rumor::core

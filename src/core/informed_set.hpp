@@ -1,0 +1,123 @@
+// rumor/core: word-packed informed-set representation for the hot engines.
+//
+// Every protocol engine's membership question is "was v informed before the
+// current round?". The original engines answered it by loading a 64-bit
+// stamp from an n-entry array — an L2-sized random access for the graphs
+// the benchmarks care about (n = 2^14 is a 128 KiB array). An InformedSet
+// packs the same predicate into n/64 machine words (2 KiB at n = 2^14), so
+// the random probe for the contacted neighbor stays L1-resident, and the
+// commit step of a synchronous round becomes a word-scan over the pending
+// set instead of a re-check of every recorded contact.
+//
+// The container is deliberately tiny: test/set/count on single bits,
+// whole-set popcount, ascending set-bit iteration (for_each), and the
+// engines' commit primitive absorb_drain — OR a pending set into this one,
+// visiting exactly the *newly contributed* bits in ascending order while
+// zeroing the pending words. None of these operations consumes randomness,
+// so swapping the representation cannot move a single sampled bit; the
+// bit-for-bit acceptance test against the retained reference engines lives
+// in tests/test_fastpath.cpp.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rumor::core {
+
+using graph::NodeId;
+
+class InformedSet {
+ public:
+  InformedSet() = default;
+  explicit InformedSet(NodeId n) { assign(n); }
+
+  /// Resizes to n bits, all clear.
+  void assign(NodeId n);
+
+  /// Clears every bit, keeping the size.
+  void clear();
+
+  [[nodiscard]] NodeId size() const noexcept { return size_; }
+
+  [[nodiscard]] bool test(NodeId v) const noexcept {
+    return (words_[v >> 6] >> (v & 63u)) & 1u;
+  }
+
+  void set(NodeId v) noexcept { words_[v >> 6] |= std::uint64_t{1} << (v & 63u); }
+
+  void reset(NodeId v) noexcept { words_[v >> 6] &= ~(std::uint64_t{1} << (v & 63u)); }
+
+  /// Sets bit v; returns true iff it was previously clear.
+  bool test_and_set(NodeId v) noexcept {
+    std::uint64_t& word = words_[v >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (v & 63u);
+    const bool was_clear = (word & mask) == 0;
+    word |= mask;
+    return was_clear;
+  }
+
+  /// Number of set bits (popcount over the words).
+  [[nodiscard]] NodeId count() const noexcept;
+
+  /// True iff every set bit of *this is also set in `other`. Word-wise, so
+  /// checking an n-node subset invariant costs n/64 ANDs, not n loads.
+  /// Precondition: same size.
+  [[nodiscard]] bool is_subset_of(const InformedSet& other) const noexcept;
+
+  /// The backing words, low bit = node 0. words()[i] covers nodes
+  /// [64 i, 64 i + 64); trailing bits past size() are zero.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  /// Mutable word access for the engines' branchless inner loops (OR a
+  /// shifted 0/1 exchange mask into the target's word instead of branching
+  /// on it). Callers must not set bits at or past size().
+  [[nodiscard]] std::uint64_t* words_data() noexcept { return words_.data(); }
+
+  /// Calls f(v) for every set bit in ascending order (word scan via
+  /// countr_zero — the engines' iterate-informed primitive).
+  template <class F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t word = words_[i];
+      while (word != 0) {
+        const auto bit = static_cast<unsigned>(std::countr_zero(word));
+        f(static_cast<NodeId>((i << 6) + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// The engines' commit primitive: ORs `pending` into this set, calling
+  /// f(v) in ascending order for every bit that was newly contributed (set
+  /// in pending, clear here), zeroing pending's words as it goes. Returns
+  /// the number of new bits. Preconditions: same size; pending may overlap
+  /// this set (overlapping bits are skipped and still cleared).
+  template <class F>
+  NodeId absorb_drain(InformedSet& pending, F&& on_new) {
+    NodeId added = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t incoming = pending.words_[i];
+      if (incoming == 0) continue;
+      pending.words_[i] = 0;
+      std::uint64_t fresh = incoming & ~words_[i];
+      words_[i] |= incoming;
+      added += static_cast<NodeId>(std::popcount(fresh));
+      while (fresh != 0) {
+        const auto bit = static_cast<unsigned>(std::countr_zero(fresh));
+        on_new(static_cast<NodeId>((i << 6) + bit));
+        fresh &= fresh - 1;
+      }
+    }
+    return added;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  NodeId size_ = 0;
+};
+
+}  // namespace rumor::core

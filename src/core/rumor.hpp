@@ -12,6 +12,8 @@
 #include "core/averaging.hpp"          // IWYU pragma: export
 #include "core/coupling_blocks.hpp"    // IWYU pragma: export
 #include "core/coupling_pull.hpp"      // IWYU pragma: export
+#include "core/event_queue.hpp"        // IWYU pragma: export
+#include "core/informed_set.hpp"       // IWYU pragma: export
 #include "core/informing_forest.hpp"   // IWYU pragma: export
 #include "core/coupling_push.hpp"      // IWYU pragma: export
 #include "core/protocol.hpp"           // IWYU pragma: export

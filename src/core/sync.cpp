@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/informed_set.hpp"
 #include "dynamics/churn.hpp"
 
 namespace rumor::core {
@@ -13,6 +14,149 @@ std::uint64_t default_round_cap(NodeId n) noexcept {
   return static_cast<std::uint64_t>(cap);
 }
 
+namespace {
+
+/// Seeds source + extra_sources at round 0; returns the informed count.
+/// Shared by the fast path and the reference.
+NodeId seed_sources(NodeId source, const SyncOptions& options, SyncResult& result) {
+  result.informed_round[source] = 0;
+  NodeId count = 1;
+  for (NodeId extra : options.extra_sources) {
+    assert(extra < result.informed_round.size());
+    if (result.informed_round[extra] == kNeverRound) {
+      result.informed_round[extra] = 0;
+      ++count;
+    }
+  }
+  return count;
+}
+
+/// How the round scan draws the contacted neighbor.
+enum class ScanKind : std::uint8_t {
+  kView,     // through a dynamics overlay (churn and/or weights)
+  kStatic,   // base CSR, per-node degree
+  kRegular,  // base CSR, uniform degree: one flat row stride, no offsets
+};
+
+/// The round loop, specialized per (mode, loss, scan kind) so the inner
+/// scan carries no per-node dispatch. Randomness consumption is identical
+/// to the reference scan below for every specialization: one neighbor draw
+/// per non-isolated node, plus one Bernoulli iff exactly one endpoint is
+/// informed and loss is configured — membership moved from the 64-bit stamp
+/// array into InformedSet words, which consumes nothing. The lossless
+/// variants are additionally branch-free past the neighbor draw: the
+/// exchange outcome is ORed into the pending word as a shifted 0/1 mask,
+/// so the mixing rounds (informed set near half full, where the exchange
+/// branch is unpredictable) pay no mispredictions.
+//
+// Why the bitset sees exactly the reference's informed set: stamps written
+// during a round are always the round number r itself, so while round r is
+// scanning, every entry of informed_round is either < r (informed before)
+// or kNeverRound — "informed before the round" and "ever stamped" coincide.
+// The bitset holds the committed (pre-round) set, `pending` collects this
+// round's targets (always the uninformed endpoint, so overlap with the
+// committed set is impossible), and the commit is a word-scan that stamps
+// each newly informed node once, exactly like the reference's dedup loop.
+template <Mode M, bool HasLoss, ScanKind K>
+void run_rounds(const Graph& g, rng::Engine& eng, const SyncOptions& options,
+                SyncResult& result, NodeId& informed_count, std::uint64_t cap) {
+  const NodeId n = g.num_nodes();
+  dynamics::DynamicGraphView* const view = options.dynamics;
+  const double loss = options.message_loss;
+
+  InformedSet informed(n);
+  InformedSet pending(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (result.informed_round[v] == 0) informed.set(v);
+  }
+
+  const std::uint32_t regular_degree = K == ScanKind::kRegular ? g.degree(0) : 0;
+  const NodeId* const flat_neighbors =
+      K == ScanKind::kRegular ? g.neighbors(0).data() : nullptr;
+
+  for (std::uint64_t r = 1; informed_count < n && r <= cap; ++r) {
+    if constexpr (K == ScanKind::kView) view->begin_round(r);  // churn between rounds
+    const std::uint64_t* const __restrict informed_words = informed.words().data();
+    std::uint64_t* const __restrict pending_words = pending.words_data();
+    const NodeId* row = flat_neighbors;  // kRegular: v's slice, advanced in step
+    for (NodeId base = 0; base < n; base += 64) {
+      // One sequential word load covers the caller side of 64 contacts; only
+      // the callee membership probe below touches the words at random.
+      std::uint64_t callers = informed_words[base >> 6];
+      const NodeId limit = n - base < 64 ? n - base : 64;
+      for (NodeId k = 0; k < limit; ++k, callers >>= 1) {
+        const NodeId v = base + k;
+        NodeId w;
+        if constexpr (K == ScanKind::kView) {
+          if (view->degree(v) == 0) continue;  // churned-out: nothing to contact
+          w = view->sample(v, eng);
+        } else if constexpr (K == ScanKind::kRegular) {
+          w = row[rng::uniform_below(eng, regular_degree)];
+          row += regular_degree;
+        } else {
+          const auto nbrs = g.neighbors(v);
+          const auto deg = static_cast<std::uint32_t>(nbrs.size());
+          if (deg == 0) continue;
+          w = nbrs[rng::uniform_below(eng, deg)];
+        }
+        const std::uint64_t v_in = callers & 1u;
+        const std::uint64_t w_in = (informed_words[w >> 6] >> (w & 63u)) & 1u;
+        if constexpr (HasLoss) {
+          if (v_in == w_in) continue;  // both or neither informed: no exchange
+          if (rng::bernoulli(eng, loss)) continue;
+          if constexpr (M == Mode::kPush) {
+            if (v_in != 0) pending.set(w);
+          } else if constexpr (M == Mode::kPull) {
+            if (w_in != 0) pending.set(v);
+          } else {
+            pending.set(v_in != 0 ? w : v);
+          }
+        } else {
+          // Branch-free: exchange == 0 ORs a zero mask (a no-op store).
+          std::uint64_t exchange;
+          NodeId target;
+          if constexpr (M == Mode::kPush) {
+            exchange = v_in & ~w_in;
+            target = w;
+          } else if constexpr (M == Mode::kPull) {
+            exchange = w_in & ~v_in;
+            target = v;
+          } else {
+            exchange = v_in ^ w_in;
+            target = v_in != 0 ? w : v;
+          }
+          pending_words[target >> 6] |= (exchange & 1u) << (target & 63u);
+        }
+      }
+    }
+    // Commit after the scan so every exchange saw the pre-round snapshot.
+    informed_count +=
+        informed.absorb_drain(pending, [&](NodeId u) { result.informed_round[u] = r; });
+    if (options.record_history) result.informed_count_history.push_back(informed_count);
+    result.rounds = r;
+  }
+}
+
+template <Mode M>
+void dispatch_loss_view(const Graph& g, rng::Engine& eng, const SyncOptions& options,
+                        SyncResult& result, NodeId& informed_count, std::uint64_t cap) {
+  const bool has_loss = options.message_loss > 0.0;
+  if (options.dynamics != nullptr) {
+    has_loss ? run_rounds<M, true, ScanKind::kView>(g, eng, options, result, informed_count, cap)
+             : run_rounds<M, false, ScanKind::kView>(g, eng, options, result, informed_count, cap);
+  } else if (g.num_nodes() > 0 && g.degree(0) > 0 && g.is_regular()) {
+    has_loss
+        ? run_rounds<M, true, ScanKind::kRegular>(g, eng, options, result, informed_count, cap)
+        : run_rounds<M, false, ScanKind::kRegular>(g, eng, options, result, informed_count, cap);
+  } else {
+    has_loss
+        ? run_rounds<M, true, ScanKind::kStatic>(g, eng, options, result, informed_count, cap)
+        : run_rounds<M, false, ScanKind::kStatic>(g, eng, options, result, informed_count, cap);
+  }
+}
+
+}  // namespace
+
 SyncResult run_sync(const Graph& g, NodeId source, rng::Engine& eng,
                     const SyncOptions& options) {
   const NodeId n = g.num_nodes();
@@ -20,15 +164,37 @@ SyncResult run_sync(const Graph& g, NodeId source, rng::Engine& eng,
 
   SyncResult result;
   result.informed_round.assign(n, kNeverRound);
-  result.informed_round[source] = 0;
-  NodeId informed_count = 1;
-  for (NodeId extra : options.extra_sources) {
-    assert(extra < n);
-    if (result.informed_round[extra] == kNeverRound) {
-      result.informed_round[extra] = 0;
-      ++informed_count;
-    }
+  NodeId informed_count = seed_sources(source, options, result);
+  if (options.record_history) result.informed_count_history.push_back(informed_count);
+
+  const std::uint64_t cap =
+      options.max_rounds != 0 ? options.max_rounds : default_round_cap(n);
+
+  switch (options.mode) {
+    case Mode::kPush:
+      dispatch_loss_view<Mode::kPush>(g, eng, options, result, informed_count, cap);
+      break;
+    case Mode::kPull:
+      dispatch_loss_view<Mode::kPull>(g, eng, options, result, informed_count, cap);
+      break;
+    case Mode::kPushPull:
+      dispatch_loss_view<Mode::kPushPull>(g, eng, options, result, informed_count, cap);
+      break;
   }
+
+  result.completed = (informed_count == n);
+  if (!result.completed) result.rounds = cap;
+  return result;
+}
+
+SyncResult run_sync_reference(const Graph& g, NodeId source, rng::Engine& eng,
+                              const SyncOptions& options) {
+  const NodeId n = g.num_nodes();
+  assert(source < n);
+
+  SyncResult result;
+  result.informed_round.assign(n, kNeverRound);
+  NodeId informed_count = seed_sources(source, options, result);
   if (options.record_history) result.informed_count_history.push_back(informed_count);
 
   const std::uint64_t cap =

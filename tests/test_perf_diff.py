@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""CTest-invoked CLI checks for tools/perf_diff.py.
+
+Covers the previously untested ``--normalize`` mode plus the exit-code
+contract the CI perf-trajectory job relies on (0 = within tolerance,
+1 = regression, 2 = bad input) and the hp-time columns of the spreading-time
+gate. Fixture reports are generated here, in the experiment report schema.
+
+Usage: test_perf_diff.py /path/to/perf_diff.py
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def e9_report(rows):
+    return {
+        "experiment": "e9_micro",
+        "params": {"trials": 8},
+        "rows": [
+            {"primitive": name, "iterations": 1000, "ns_per_op": ns}
+            for name, ns in rows.items()
+        ],
+    }
+
+
+def e1_report(families):
+    return {
+        "experiment": "e1_overview",
+        "params": {"trials": 8},
+        "rows": [dict({"graph": name, "n": 64}, **metrics) for name, metrics in families.items()],
+    }
+
+
+def write(tmp, name, doc):
+    path = os.path.join(tmp, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def run(perf_diff, *args):
+    proc = subprocess.run(
+        [sys.executable, perf_diff, *args], capture_output=True, text=True
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(condition, message, output=""):
+    if not condition:
+        print(f"FAIL: {message}\n{output}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    perf_diff = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Baseline machine: rng_next 2 ns, engine 10 ns -> relative cost 5.
+        base = write(tmp, "base.json", [e9_report({"rng_next": 2.0, "engine": 10.0})])
+
+        # A 3x-faster machine, same relative cost: raw ratio 0.33x, and the
+        # normalized gate must agree at any tolerance.
+        faster = write(tmp, "faster.json", [e9_report({"rng_next": 0.667, "engine": 3.33})])
+        code, out = run(perf_diff, faster, base, "--normalize", "rng_next", "--tolerance", "1.1")
+        check(code == 0, "hardware scaling cancels under --normalize", out)
+
+        # A genuine relative regression hidden by fast hardware: rng_next
+        # twice as fast, the engine the same speed -> raw 1.0x (passes even
+        # at 2x) but relative cost doubled (10 vs 5) -> normalized fails.
+        hidden = write(tmp, "hidden.json", [e9_report({"rng_next": 1.0, "engine": 10.0})])
+        code, out = run(perf_diff, hidden, base, "--tolerance", "2.0")
+        check(code == 0, "raw gate misses the relative regression", out)
+        code, out = run(perf_diff, hidden, base, "--normalize", "rng_next", "--tolerance", "1.8")
+        check(code == 1, "--normalize catches it (exit 1)", out)
+        check("REGRESSION" in out, "regression is flagged in the table", out)
+
+        # Normalizing by a primitive absent from a report is bad input (2).
+        code, out = run(perf_diff, hidden, base, "--normalize", "no_such_primitive")
+        check(code == 2, "unknown --normalize primitive exits 2", out)
+
+        # Spreading times: means fine, hp-time quantile drifted -> exit 1.
+        times_base = write(
+            tmp,
+            "times_base.json",
+            [e1_report({"star": {"sync_mean": 4.0, "async_mean": 6.0,
+                                 "sync_hp_time": 5.0, "async_hp_time": 8.0}})],
+        )
+        drifted = write(
+            tmp,
+            "drifted.json",
+            [
+                e9_report({"rng_next": 2.0, "engine": 10.0}),
+                e1_report({"star": {"sync_mean": 4.0, "async_mean": 6.0,
+                                    "sync_hp_time": 9.0, "async_hp_time": 8.0}}),
+            ],
+        )
+        code, out = run(perf_diff, drifted, base, "--times", times_base, "--time-tolerance", "1.25")
+        check(code == 1, "hp-time drift fails the times gate", out)
+        check("sync_hp_time" in out, "the drifting metric is named", out)
+
+        # Same report within tolerance everywhere -> exit 0.
+        clean = write(
+            tmp,
+            "clean.json",
+            [
+                e9_report({"rng_next": 2.0, "engine": 10.0}),
+                e1_report({"star": {"sync_mean": 4.0, "async_mean": 6.0,
+                                    "sync_hp_time": 5.0, "async_hp_time": 8.0}}),
+            ],
+        )
+        code, out = run(
+            perf_diff, clean, base,
+            "--normalize", "rng_next", "--tolerance", "1.1",
+            "--times", times_base, "--time-tolerance", "1.25",
+        )
+        check(code == 0, "clean report passes every gate", out)
+
+        # A baseline without hp-time columns still gates the means it has.
+        old_times = write(
+            tmp, "old_times.json", [e1_report({"star": {"sync_mean": 4.0, "async_mean": 6.0}})]
+        )
+        code, out = run(perf_diff, clean, base, "--times", old_times)
+        check(code == 0, "means-only baseline stays compatible", out)
+
+        # Missing files are bad input (2), never a silent pass.
+        code, out = run(perf_diff, os.path.join(tmp, "nope.json"), base)
+        check(code == 2, "missing report exits 2", out)
+
+    print("test_perf_diff: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

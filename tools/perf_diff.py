@@ -12,7 +12,9 @@ Two gates, both reading the stable report schema of sim/experiment.hpp:
   single-digit-percent drift.
 
 * **Spreading times** (``--times``, gating ``e1_overview``): compares the
-  per-family sync/async mean spreading times against
+  per-family sync/async mean spreading times — and, when the baseline
+  records them, the hp-time quantiles ``sync_hp_time`` / ``async_hp_time``
+  (the paper's T_q, from the KLL sketch at q = 1/trials) — against
   bench/BASELINE_times.json (recorded at ``--trials 8``). Spreading times
   are simulation outcomes — deterministic given the seed and bit-identical
   across thread counts (the campaign contract) — so unlike ns_per_op they
@@ -21,6 +23,8 @@ Two gates, both reading the stable report schema of sim/experiment.hpp:
   (default 1.25x, both directions) absorbs the former and fails on the
   latter: an engine change that alters trial-level randomness must ship
   with a refreshed baseline (see bench/README.md for the refresh command).
+  Gating quantiles alongside means catches tail-only drift a mean gate
+  would wave through (e.g. a rare-path change that stretches stragglers).
 
 * **Normalized throughput** (``--normalize PRIMITIVE``, typically
   ``rng_next``): before comparing, divide every ns_per_op by the named
@@ -68,12 +72,19 @@ def load_e9_rows(path):
 
 
 def load_family_means(path):
-    """Returns {family: {metric: mean}} from a report file's e1_overview."""
+    """Returns {family: {metric: value}} from a report file's e1_overview.
+
+    Means are required; the hp-time quantile columns are picked up when
+    present, so a baseline recorded before they existed still gates the
+    means it has.
+    """
     report = find_report(path, "e1_overview")
+    optional = ("sync_hp_time", "async_hp_time")
     return {
         row["graph"]: {
             "sync_mean": float(row["sync_mean"]),
             "async_mean": float(row["async_mean"]),
+            **{m: float(row[m]) for m in optional if m in row},
         }
         for row in report.get("rows", [])
     }
