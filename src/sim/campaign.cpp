@@ -11,6 +11,7 @@
 #include <mutex>
 #include <numeric>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -18,6 +19,7 @@
 #include "core/quasirandom.hpp"
 #include "graph/generators.hpp"
 #include "rng/rng.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/experiment.hpp"
 
 namespace rumor::sim {
@@ -305,31 +307,94 @@ void plan_blocks(std::vector<Block>& out, std::size_t config, BlockKind kind,
   }
 }
 
+/// One specific slot's block (resume re-enqueues only the missing slots).
+Block block_for_slot(std::size_t config, BlockKind kind, std::uint32_t entrant,
+                     std::uint64_t trials, std::uint64_t block_size, std::size_t slot) {
+  const std::uint64_t begin = static_cast<std::uint64_t>(slot) * block_size;
+  return Block{config, kind, entrant, begin, std::min(begin + block_size, trials), slot};
+}
+
+std::size_t slot_count(std::uint64_t trials, std::uint64_t block_size) {
+  return static_cast<std::size_t>((trials + block_size - 1) / block_size);
+}
+
 }  // namespace
 
-std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& configs,
-                                         const CampaignOptions& options) {
+CampaignResult campaign_result_skeleton(const CampaignConfig& cfg, std::size_t index) {
+  CampaignResult r;
+  r.id = resolved_config_id(cfg, index);
+  if (cfg.trials == 0) {
+    throw std::runtime_error("campaign: configuration '" + r.id + "' has trials == 0");
+  }
+  r.engine = engine_name(cfg.engine);
+  r.mode = core::mode_name(cfg.mode);
+  r.seed = cfg.seed;
+  r.source = cfg.source;
+  r.source_policy = cfg.source_policy;
+  r.dynamics = resolved_dynamics(cfg);
+  const std::uint64_t measured_trials =
+      cfg.source_policy == SourcePolicy::kRace && cfg.race.final_trials != 0
+          ? cfg.race.final_trials
+          : cfg.trials;
+  r.trials = measured_trials;
+  r.hp_q = cfg.hp_q > 0.0 ? cfg.hp_q : 1.0 / static_cast<double>(measured_trials);
+  return r;
+}
+
+namespace {
+
+/// The scheduler core behind run_campaign and run_campaign_resumable.
+/// `recording` switches on the snapshot layer (checkpoints, shards,
+/// resume); without it the scheduler is the original zero-overhead path.
+CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
+                                  const CampaignOptions& options,
+                                  const std::string& campaign_name, const Json* resume,
+                                  bool recording) {
   const std::uint64_t block_size = std::max<std::uint64_t>(options.block_size, 1);
+  const std::uint32_t shard_count = std::max<std::uint32_t>(options.shard_count, 1);
+  if (options.shard_index < 1 || options.shard_index > shard_count) {
+    throw std::runtime_error("campaign: shard index " + std::to_string(options.shard_index) +
+                             " out of range 1.." + std::to_string(shard_count));
+  }
+  const std::uint32_t shard = options.shard_index - 1;  // 0-based internally
+
+  std::unique_ptr<CampaignRecorder> recorder;
+  if (recording) {
+    // Snapshots address configurations by id, so recorded campaigns need
+    // unique ids (the spec parser already rejects collisions; this guards
+    // API callers handing in configs directly).
+    std::map<std::string, std::size_t> seen;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const auto [it, inserted] = seen.emplace(resolved_config_id(configs[c], c), c);
+      if (!inserted) {
+        throw std::runtime_error("campaign: configurations " + std::to_string(it->second) +
+                                 " and " + std::to_string(c) + " share the id '" + it->first +
+                                 "' (checkpoints and shards address configs by id)");
+      }
+    }
+    recorder = std::make_unique<CampaignRecorder>(configs, options, campaign_name);
+  }
+  std::vector<CampaignRecorder::Restored> restored(configs.size());
+  if (resume != nullptr) restored = recorder->load(*resume);
+
+  auto summary_opts = [&](const CampaignConfig& cfg) {
+    return summary_options_for(cfg, options.sketch_capacity, options.reservoir_capacity);
+  };
 
   std::vector<Block> initial;
   std::vector<ConfigState> states(configs.size());
   std::vector<CampaignResult> results(configs.size());
+  // finalize_here[c]: this run folds the configuration's partials into its
+  // final result (it owns every block). A sharded run leaves foreign or
+  // split configurations to merge_campaign_snapshots.
+  std::vector<char> finalize_here(configs.size(), 1);
   // For the worker-count heuristic only: a generous upper bound on how many
   // blocks the campaign can ever schedule (race passes expand lazily).
   std::size_t block_estimate = 0;
   for (std::size_t c = 0; c < configs.size(); ++c) {
     const CampaignConfig& cfg = configs[c];
-    if (cfg.trials == 0) {
-      throw std::runtime_error("campaign: configuration '" + cfg.id + "' has trials == 0");
-    }
+    results[c] = campaign_result_skeleton(cfg, c);
     CampaignResult& r = results[c];
-    r.id = !cfg.id.empty() ? cfg.id : "cfg" + std::to_string(c);
-    r.engine = engine_name(cfg.engine);
-    r.mode = core::mode_name(cfg.mode);
-    r.seed = cfg.seed;
-    r.source = cfg.source;
-    r.source_policy = cfg.source_policy;
-    r.dynamics = resolved_dynamics(cfg);
     if (!cfg.dynamics.is_static()) {
       // Validate here (not in run_one, where a worker thread would race to
       // report it) so API callers get the same guarantees the spec parser
@@ -363,24 +428,131 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
       }
       const std::uint64_t final_trials =
           cfg.race.final_trials != 0 ? cfg.race.final_trials : cfg.trials;
-      r.trials = final_trials;
-      r.hp_q = cfg.hp_q > 0.0 ? cfg.hp_q : 1.0 / static_cast<double>(final_trials);
-      initial.push_back(Block{c, BlockKind::kPlan, 0, 0, 0, 0});
       const std::size_t cand_bound = cfg.race.max_candidates != 0
                                          ? cfg.race.max_candidates
                                          : (cfg.prebuilt != nullptr ? cfg.prebuilt->num_nodes()
                                                                     : cfg.graph.n);
       block_estimate += 1 + cand_bound * (cfg.race.screen_trials / block_size + 1) +
                         cfg.race.finalists * (final_trials / block_size + 1);
+      // Races are owned wholesale by one shard, so the screen/refine
+      // successors of the plan block always stay with their owner.
+      finalize_here[c] =
+          shard_of_block(r.id, 0, /*whole_config=*/true, shard_count) == shard ? 1 : 0;
+      if (finalize_here[c] == 0) continue;
+      ConfigState& st = states[c];
+      CampaignRecorder::Restored& rest = restored[c];
+      using Phase = CampaignRecorder::Restored::Phase;
+      switch (rest.phase) {
+        case Phase::kPending:
+        case Phase::kTrials:  // load() never reports kTrials for a race
+          initial.push_back(Block{c, BlockKind::kPlan, 0, 0, 0, 0});
+          break;
+        case Phase::kScreen: {
+          st.candidates = std::move(rest.candidates);
+          const auto count = static_cast<std::uint32_t>(st.candidates.size());
+          const std::size_t slots = slot_count(cfg.race.screen_trials, block_size);
+          st.screen_partials.assign(count, {});
+          for (auto& per : st.screen_partials) per.resize(slots);
+          std::set<std::pair<std::uint32_t, std::size_t>> have;
+          for (const auto& [entrant, slot, state] : rest.screen_slots) {
+            st.screen_partials[entrant][slot].restore(state);
+            have.emplace(entrant, slot);
+          }
+          std::vector<Block> missing;
+          for (std::uint32_t i = 0; i < count; ++i) {
+            for (std::size_t s = 0; s < slots; ++s) {
+              if (have.count({i, s}) == 0) {
+                missing.push_back(block_for_slot(c, BlockKind::kScreen, i,
+                                                 cfg.race.screen_trials, block_size, s));
+              }
+            }
+          }
+          if (missing.empty()) {
+            // Snapshot fell between the pass's last block and its hand-off:
+            // re-run one restored block to re-trigger the fold (recording is
+            // idempotent and re-running a block is bit-neutral).
+            const auto [i, s] = *have.rbegin();
+            missing.push_back(
+                block_for_slot(c, BlockKind::kScreen, i, cfg.race.screen_trials, block_size, s));
+          }
+          st.screen_left.store(missing.size(), std::memory_order_relaxed);
+          initial.insert(initial.end(), missing.begin(), missing.end());
+          break;
+        }
+        case Phase::kRefine: {
+          st.finalists = std::move(rest.finalists);
+          const auto count = static_cast<std::uint32_t>(st.finalists.size());
+          const std::size_t slots = slot_count(final_trials, block_size);
+          st.refine_partials.assign(count, {});
+          for (auto& per : st.refine_partials) per.resize(slots);
+          std::set<std::pair<std::uint32_t, std::size_t>> have;
+          for (const auto& [entrant, slot, state] : rest.refine_slots) {
+            st.refine_partials[entrant][slot] =
+                stats::StreamingSummary::restored(summary_opts(cfg), state);
+            have.emplace(entrant, slot);
+          }
+          std::vector<Block> missing;
+          for (std::uint32_t i = 0; i < count; ++i) {
+            for (std::size_t s = 0; s < slots; ++s) {
+              if (have.count({i, s}) == 0) {
+                missing.push_back(
+                    block_for_slot(c, BlockKind::kRefine, i, final_trials, block_size, s));
+              }
+            }
+          }
+          if (missing.empty()) {
+            const auto [i, s] = *have.rbegin();
+            missing.push_back(block_for_slot(c, BlockKind::kRefine, i, final_trials, block_size, s));
+          }
+          st.refine_left.store(missing.size(), std::memory_order_relaxed);
+          initial.insert(initial.end(), missing.begin(), missing.end());
+          break;
+        }
+        case Phase::kDone:
+          r.graph_name = rest.graph_name;
+          r.n = rest.n;
+          r.source = rest.source;
+          r.best_source = rest.best_source;
+          r.best_mean = rest.best_mean;
+          r.summary = stats::StreamingSummary::restored(summary_opts(cfg), rest.summary);
+          break;
+      }
     } else {
-      r.trials = cfg.trials;
-      r.hp_q = cfg.hp_q > 0.0 ? cfg.hp_q : 1.0 / static_cast<double>(cfg.trials);
-      const std::size_t before = initial.size();
-      plan_blocks(initial, c, BlockKind::kTrials, 0, cfg.trials, block_size);
-      const std::size_t slots = initial.size() - before;
-      states[c].partials.resize(slots);
-      states[c].blocks_left.store(slots, std::memory_order_relaxed);
-      block_estimate += slots;
+      ConfigState& st = states[c];
+      CampaignRecorder::Restored& rest = restored[c];
+      using Phase = CampaignRecorder::Restored::Phase;
+      if (rest.phase == Phase::kDone) {
+        r.graph_name = rest.graph_name;
+        r.n = rest.n;
+        r.summary = stats::StreamingSummary::restored(summary_opts(cfg), rest.summary);
+        continue;
+      }
+      const std::size_t slots = slot_count(cfg.trials, block_size);
+      st.partials.resize(slots);
+      std::vector<char> done_slot(slots, 0);
+      for (const auto& [slot, state] : rest.trial_slots) {
+        st.partials[slot] = stats::StreamingSummary::restored(summary_opts(cfg), state);
+        done_slot[slot] = 1;
+      }
+      std::size_t owned = 0;
+      std::vector<Block> missing;
+      for (std::size_t s = 0; s < slots; ++s) {
+        if (shard_of_block(r.id, s, /*whole_config=*/false, shard_count) != shard) continue;
+        ++owned;
+        if (done_slot[s] == 0) {
+          missing.push_back(block_for_slot(c, BlockKind::kTrials, 0, cfg.trials, block_size, s));
+        }
+      }
+      finalize_here[c] = owned == slots ? 1 : 0;
+      if (finalize_here[c] != 0 && missing.empty()) {
+        // Every block was restored but the snapshot predates the final fold:
+        // re-run the highest slot to re-trigger it (bit-neutral).
+        missing.push_back(
+            block_for_slot(c, BlockKind::kTrials, 0, cfg.trials, block_size, slots - 1));
+      }
+      st.blocks_left.store(missing.size(), std::memory_order_relaxed);
+      block_estimate += missing.size();
+      initial.insert(initial.end(), missing.begin(), missing.end());
     }
   }
 
@@ -391,15 +563,6 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
   BlockQueue queue;
   std::exception_ptr error;
   std::mutex error_mutex;
-
-  auto summary_options_for = [&](const CampaignConfig& cfg) {
-    stats::StreamingSummary::Options summary_options;
-    summary_options.sketch_capacity = options.sketch_capacity;
-    summary_options.reservoir_capacity =
-        cfg.reservoir_capacity != 0 ? cfg.reservoir_capacity : options.reservoir_capacity;
-    summary_options.reservoir_salt = cfg.seed;
-    return summary_options;
-  };
 
   auto resolved_final_trials = [](const CampaignConfig& cfg) {
     return cfg.race.final_trials != 0 ? cfg.race.final_trials : cfg.trials;
@@ -416,6 +579,9 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
       st.graph = cfg.prebuilt != nullptr
                      ? cfg.prebuilt
                      : std::make_shared<const Graph>(build_graph(cfg.graph, cfg.seed));
+      // Snapshot the built graph's identity: merge needs it to assemble
+      // results for configurations whose blocks were split across shards.
+      if (recorder != nullptr) recorder->record_graph(c, st.graph->name(), st.graph->num_nodes());
       if (cfg.dynamics.weights.model != dynamics::WeightModel::kNone &&
           cfg.dynamics.churn.model == dynamics::ChurnModel::kNone) {
         const dynamics::DynamicsSpec spec = resolved_dynamics(cfg);
@@ -451,21 +617,28 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
                                    std::to_string(cfg.source) + " is out of range for " +
                                    g.name());
         }
-        stats::StreamingSummary partial(summary_options_for(cfg));
+        stats::StreamingSummary partial(summary_opts(cfg));
         for (std::uint64_t t = block.begin; t < block.end; ++t) {
           partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), cfg.source, cfg.seed, t),
                       t);
         }
         st.partials[block.slot] = std::move(partial);
+        if (recorder != nullptr) {
+          recorder->record_trial_slot(block.config, block.slot, st.partials[block.slot]);
+        }
         if (st.blocks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          // Last block of this configuration: fold partials in slot order
-          // and release the graph and per-block state — from here on the
-          // configuration occupies only its constant-size summary.
-          stats::StreamingSummary total = std::move(st.partials.front());
-          for (std::size_t s = 1; s < st.partials.size(); ++s) total.merge(st.partials[s]);
-          r.graph_name = g.name();
-          r.n = g.num_nodes();
-          r.summary = std::move(total);
+          // Last owned block of this configuration: fold partials in slot
+          // order (when this run owns every slot) and release the graph and
+          // per-block state — from here on the configuration occupies only
+          // its constant-size summary.
+          if (finalize_here[block.config] != 0) {
+            stats::StreamingSummary total = std::move(st.partials.front());
+            for (std::size_t s = 1; s < st.partials.size(); ++s) total.merge(st.partials[s]);
+            r.graph_name = g.name();
+            r.n = g.num_nodes();
+            r.summary = std::move(total);
+            if (recorder != nullptr) recorder->record_done(block.config, r);
+          }
           st.partials.clear();
           st.partials.shrink_to_fit();
           st.graph.reset();
@@ -485,6 +658,9 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
                       block_size);
           st.screen_partials[i].resize(screen.size() - before);
         }
+        // Recorded before the screen blocks can run, so no snapshot ever
+        // holds screen partials without the candidate list they index.
+        if (recorder != nullptr) recorder->record_plan(block.config, st.candidates);
         st.screen_left.store(screen.size(), std::memory_order_relaxed);
         queue.push(std::move(screen));
         break;
@@ -497,6 +673,9 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
           partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), u, stream_seed, t));
         }
         st.screen_partials[block.entrant][block.slot] = partial;
+        if (recorder != nullptr) {
+          recorder->record_screen_slot(block.config, block.entrant, block.slot, partial);
+        }
         if (st.screen_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           // Screening complete: rank candidates by mean (descending, node id
           // as the deterministic tie-break) and enqueue the refine pass for
@@ -526,6 +705,9 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
             plan_blocks(refine, block.config, BlockKind::kRefine, i, final_trials, block_size);
             st.refine_partials[i].resize(refine.size() - before);
           }
+          // As with record_plan: finalists land in the snapshot before any
+          // refine partial can reference them.
+          if (recorder != nullptr) recorder->record_finalists(block.config, st.finalists);
           st.refine_left.store(refine.size(), std::memory_order_relaxed);
           queue.push(std::move(refine));
         }
@@ -533,12 +715,16 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
       }
       case BlockKind::kRefine: {
         const graph::NodeId u = st.finalists[block.entrant];
-        stats::StreamingSummary partial(summary_options_for(cfg));
+        stats::StreamingSummary partial(summary_opts(cfg));
         const std::uint64_t stream_seed = cfg.seed + 1 + kSourceStride * u;
         for (std::uint64_t t = block.begin; t < block.end; ++t) {
           partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), u, stream_seed, t), t);
         }
         st.refine_partials[block.entrant][block.slot] = std::move(partial);
+        if (recorder != nullptr) {
+          recorder->record_refine_slot(block.config, block.entrant, block.slot,
+                                       st.refine_partials[block.entrant][block.slot]);
+        }
         if (st.refine_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           // Refinement complete: fold each finalist in slot order, keep the
           // worst finalist's full summary as the configuration's result
@@ -562,6 +748,7 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
           }
           r.graph_name = g.name();
           r.n = g.num_nodes();
+          if (recorder != nullptr) recorder->record_done(block.config, r);
           st.refine_partials.clear();
           st.refine_partials.shrink_to_fit();
           st.finalists.clear();
@@ -577,11 +764,20 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
 
   queue.push(std::move(initial));
 
+  std::atomic<bool> stopped{false};
+
   auto worker = [&] {
     Block block;
     while (queue.pop(block)) {
       try {
         process_block(block);
+        if (recorder != nullptr && recorder->block_finished()) {
+          // stop_after_blocks budget exhausted: drain the queue; in-flight
+          // blocks still finish and record, so the final checkpoint below
+          // loses nothing that was computed.
+          stopped.store(true, std::memory_order_relaxed);
+          queue.abort();
+        }
       } catch (...) {
         {
           const std::scoped_lock lock(error_mutex);
@@ -602,7 +798,37 @@ std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& conf
     for (auto& th : pool) th.join();
   }
   if (error) std::rethrow_exception(error);
-  return results;
+
+  CampaignOutcome outcome;
+  outcome.results = std::move(results);
+  outcome.complete = !stopped.load(std::memory_order_relaxed);
+  if (recorder != nullptr) {
+    outcome.blocks_done = recorder->blocks_done();
+    outcome.snapshot = recorder->snapshot(outcome.complete);
+    if (!options.checkpoint_file.empty()) recorder->write_checkpoint(outcome.complete);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& configs,
+                                         const CampaignOptions& options) {
+  // Strip the snapshot knobs so existing callers keep the original
+  // zero-overhead scheduling path regardless of what they left in options.
+  CampaignOptions plain = options;
+  plain.shard_index = 1;
+  plain.shard_count = 1;
+  plain.checkpoint_file.clear();
+  plain.stop_after_blocks = 0;
+  return std::move(
+      run_campaign_impl(configs, plain, "campaign", nullptr, /*recording=*/false).results);
+}
+
+CampaignOutcome run_campaign_resumable(const std::vector<CampaignConfig>& configs,
+                                       const CampaignOptions& options,
+                                       const std::string& campaign_name, const Json* resume) {
+  return run_campaign_impl(configs, options, campaign_name, resume, /*recording=*/true);
 }
 
 // --- Spec parsing ------------------------------------------------------------
@@ -878,7 +1104,11 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
     return spec;
   }
 
-  std::map<std::string, int> id_uses;  // disambiguates duplicate auto-ids
+  // id -> the spec entry that first produced it. Collisions (explicit or
+  // auto-derived) are rejected: checkpoints, shards, and merge address
+  // configurations by id, so silently suffixing "#1" would make snapshot
+  // identity depend on spec order.
+  std::map<std::string, std::size_t> id_first;
   for (std::size_t e = 0; e < entries->elements().size(); ++e) {
     const Json& entry = entries->elements()[e];
     const std::string where = "configs[" + std::to_string(e) + "]";
@@ -976,8 +1206,14 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
               id += std::string("_w-") + dynamics::weight_model_name(cfg.dynamics.weights.model);
             }
           }
-          const int use = id_uses[id]++;
-          if (use > 0) id += "#" + std::to_string(use);
+          const auto [first, inserted] = id_first.emplace(id, e);
+          if (!inserted) {
+            spec.error = where + ": config id '" + id + "' collides with a cell of configs[" +
+                         std::to_string(first->second) + "]" +
+                         (explicit_id.empty() ? "; give the entries distinct explicit \"id\"s"
+                                              : "");
+            return spec;
+          }
           cfg.id = id;
           spec.configs.push_back(std::move(cfg));
         }

@@ -142,9 +142,26 @@ struct CampaignOptions {
   unsigned threads = 0;
   /// Trials per scheduled block. Small blocks interleave configurations
   /// more finely (better load balance); large blocks amortize scheduling.
+  /// Also the checkpoint/shard granularity: snapshots address progress by
+  /// (config, block slot), so resume and merge require the same block size.
   std::uint64_t block_size = 32;
   std::size_t sketch_capacity = 256;
   std::size_t reservoir_capacity = 512;
+
+  // Checkpoint / shard / resume knobs (sim/checkpoint.hpp). Only honored by
+  // run_campaign_resumable; plain run_campaign ignores them.
+  /// This run's 1-based shard under `shard_count`-way block partitioning.
+  std::uint32_t shard_index = 1;
+  /// Total shards; 1 = unsharded (every block owned by this run).
+  std::uint32_t shard_count = 1;
+  /// When non-empty, write a crash-safe snapshot here every
+  /// `checkpoint_every` completed blocks and once at the end.
+  std::string checkpoint_file;
+  std::uint64_t checkpoint_every = 16;
+  /// Testing/ops hook: stop scheduling after this many blocks completed by
+  /// this process (0 = run to completion). The stopped campaign's outcome
+  /// has complete == false; resume from the checkpoint to continue.
+  std::uint64_t stop_after_blocks = 0;
 };
 
 /// One configuration's reduced result: identification plus the streaming
@@ -178,6 +195,14 @@ struct CampaignResult {
 /// (mirroring run_trials).
 [[nodiscard]] std::vector<CampaignResult> run_campaign(const std::vector<CampaignConfig>& configs,
                                                        const CampaignOptions& options = {});
+
+/// The identification/metadata half of a CampaignResult, exactly as
+/// run_campaign initializes it before any trial runs (id, engine, mode,
+/// seed, resolved trials/hp_q/dynamics). Shared with the checkpoint/merge
+/// layer (sim/checkpoint.hpp) so merged and resumed reports are built from
+/// skeletons identical to the scheduler's.
+[[nodiscard]] CampaignResult campaign_result_skeleton(const CampaignConfig& cfg,
+                                                      std::size_t index);
 
 /// Parses a campaign spec document into configurations. Grammar (all
 /// `defaults` keys optional, every config key overridable per entry):

@@ -1,0 +1,1040 @@
+#include "sim/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "rng/rng.hpp"
+
+namespace rumor::sim {
+
+// --- Fingerprint and shard partition -----------------------------------------
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Canonical field renderings for the fingerprint. Doubles go through the
+/// exact round-trip formatter (Json::dump), so any value change — however
+/// small — changes the hash.
+void put(std::string& out, const std::string& s) {
+  out += s;
+  out += '|';
+}
+void put(std::string& out, const char* s) {
+  out += s;
+  out += '|';
+}
+void put(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+  out += '|';
+}
+void put(std::string& out, double v) {
+  out += Json(v).dump();
+  out += '|';
+}
+
+std::size_t slot_count(std::uint64_t trials, std::uint64_t block_size) {
+  return static_cast<std::size_t>((trials + block_size - 1) / block_size);
+}
+
+}  // namespace
+
+std::string resolved_config_id(const CampaignConfig& cfg, std::size_t index) {
+  return !cfg.id.empty() ? cfg.id : "cfg" + std::to_string(index);
+}
+
+std::string campaign_fingerprint(const std::string& campaign_name,
+                                 const std::vector<CampaignConfig>& configs) {
+  std::string canon = campaign_name;
+  canon += '\n';
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const CampaignConfig& cfg = configs[c];
+    put(canon, resolved_config_id(cfg, c));
+    if (cfg.prebuilt != nullptr) {
+      // Prebuilt graphs are hashed by identity (name, nodes, edges), not
+      // structure: API campaigns that hand in a graph must hand in the same
+      // graph on resume, and this is the cheap stand-in for that contract.
+      put(canon, "prebuilt");
+      put(canon, cfg.prebuilt->name());
+      put(canon, static_cast<std::uint64_t>(cfg.prebuilt->num_nodes()));
+      put(canon, static_cast<std::uint64_t>(cfg.prebuilt->num_edges()));
+    } else {
+      put(canon, cfg.graph.family);
+      put(canon, cfg.graph.n);
+      put(canon, cfg.graph.p);
+      put(canon, static_cast<std::uint64_t>(cfg.graph.degree));
+      put(canon, cfg.graph.beta);
+      put(canon, cfg.graph.average_degree);
+      put(canon, cfg.graph.graph_seed);
+    }
+    put(canon, engine_name(cfg.engine));
+    put(canon, core::mode_name(cfg.mode));
+    put(canon, static_cast<std::uint64_t>(cfg.view));
+    put(canon, static_cast<std::uint64_t>(cfg.aux));
+    put(canon, cfg.message_loss);
+    put(canon, static_cast<std::uint64_t>(cfg.source));
+    put(canon, source_policy_name(cfg.source_policy));
+    put(canon, cfg.race.screen_trials);
+    put(canon, static_cast<std::uint64_t>(cfg.race.finalists));
+    put(canon, cfg.race.final_trials);
+    put(canon, static_cast<std::uint64_t>(cfg.race.max_candidates));
+    put(canon, dynamics::churn_model_name(cfg.dynamics.churn.model));
+    put(canon, cfg.dynamics.churn.birth);
+    put(canon, cfg.dynamics.churn.death);
+    put(canon, cfg.dynamics.churn.rewire);
+    put(canon, cfg.dynamics.churn.period);
+    put(canon, dynamics::weight_model_name(cfg.dynamics.weights.model));
+    put(canon, cfg.dynamics.weights.alpha);
+    put(canon, cfg.dynamics.seed);
+    put(canon, cfg.trials);
+    put(canon, cfg.seed);
+    put(canon, cfg.hp_q);
+    put(canon, static_cast<std::uint64_t>(cfg.reservoir_capacity));
+    canon += '\n';
+  }
+  return hex64(fnv1a(canon));
+}
+
+std::uint32_t shard_of_block(const std::string& config_id, std::size_t slot, bool whole_config,
+                             std::uint32_t shard_count) {
+  if (shard_count <= 1) return 0;
+  std::uint64_t h = fnv1a(config_id);
+  if (!whole_config) {
+    // Mix the slot in multiplicatively so neighboring slots scatter across
+    // shards (balanced partials even for single-config campaigns).
+    h ^= static_cast<std::uint64_t>(slot) * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL;
+  }
+  rng::SplitMix64 sm(h);
+  return static_cast<std::uint32_t>(sm.next() % shard_count);
+}
+
+stats::StreamingSummary::Options summary_options_for(const CampaignConfig& cfg,
+                                                     std::size_t sketch_capacity,
+                                                     std::size_t reservoir_capacity) {
+  stats::StreamingSummary::Options options;
+  options.sketch_capacity = sketch_capacity;
+  options.reservoir_capacity =
+      cfg.reservoir_capacity != 0 ? cfg.reservoir_capacity : reservoir_capacity;
+  options.reservoir_salt = cfg.seed;
+  return options;
+}
+
+// --- Accumulator-state <-> JSON codecs ---------------------------------------
+
+namespace {
+
+[[noreturn]] void fail(const std::string& ctx, const std::string& what) {
+  throw std::runtime_error(ctx + ": " + what);
+}
+
+const Json& require(const Json& obj, const char* key, const std::string& ctx) {
+  if (!obj.is_object()) fail(ctx, "expected a JSON object");
+  const Json* v = obj.find(key);
+  if (v == nullptr) fail(ctx, std::string("missing key '") + key + "'");
+  return *v;
+}
+
+double req_number(const Json& obj, const char* key, const std::string& ctx) {
+  const Json& v = require(obj, key, ctx);
+  if (!v.is_number()) fail(ctx, std::string("key '") + key + "' must be a number");
+  return v.as_number();
+}
+
+std::uint64_t req_uint(const Json& obj, const char* key, const std::string& ctx) {
+  const double v = req_number(obj, key, ctx);
+  if (v < 0.0 || v != std::floor(v) || v > 9007199254740992.0) {
+    fail(ctx, std::string("key '") + key + "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string req_string(const Json& obj, const char* key, const std::string& ctx) {
+  const Json& v = require(obj, key, ctx);
+  if (!v.is_string()) fail(ctx, std::string("key '") + key + "' must be a string");
+  return v.as_string();
+}
+
+bool req_bool(const Json& obj, const char* key, const std::string& ctx) {
+  const Json& v = require(obj, key, ctx);
+  if (v.type() != Json::Type::kBool) fail(ctx, std::string("key '") + key + "' must be a boolean");
+  return v.as_bool();
+}
+
+const Json& req_array(const Json& obj, const char* key, const std::string& ctx) {
+  const Json& v = require(obj, key, ctx);
+  if (!v.is_array()) fail(ctx, std::string("key '") + key + "' must be an array");
+  return v;
+}
+
+// A phase's partial-block array may be legally absent: a snapshot taken
+// between a phase transition and that phase's first completed block has
+// nothing to record yet.
+const std::vector<Json>& opt_array(const Json& obj, const char* key, const std::string& ctx) {
+  static const std::vector<Json> empty;
+  const Json* v = obj.find(key);
+  if (v == nullptr) return empty;
+  if (!v->is_array()) fail(ctx, std::string("key '") + key + "' must be an array");
+  return v->elements();
+}
+
+Json moments_to_json(const stats::RunningMoments::State& s) {
+  Json o = Json::object();
+  o.set("count", s.count);
+  o.set("mean", s.mean);
+  o.set("m2", s.m2);
+  o.set("min", s.min);
+  o.set("max", s.max);
+  return o;
+}
+
+stats::RunningMoments::State moments_from_json(const Json& o, const std::string& ctx) {
+  stats::RunningMoments::State s;
+  s.count = req_uint(o, "count", ctx);
+  s.mean = req_number(o, "mean", ctx);
+  s.m2 = req_number(o, "m2", ctx);
+  s.min = req_number(o, "min", ctx);
+  s.max = req_number(o, "max", ctx);
+  return s;
+}
+
+Json sketch_to_json(const stats::QuantileSketch::State& s) {
+  Json levels = Json::array();
+  for (const auto& lvl : s.levels) {
+    Json items = Json::array();
+    for (const double x : lvl.items) items.push_back(x);
+    Json level = Json::object();
+    level.set("items", std::move(items));
+    level.set("keep_odd", lvl.keep_odd);
+    levels.push_back(std::move(level));
+  }
+  Json o = Json::object();
+  o.set("count", s.count);
+  o.set("levels", std::move(levels));
+  return o;
+}
+
+stats::QuantileSketch::State sketch_from_json(const Json& o, const std::string& ctx) {
+  stats::QuantileSketch::State s;
+  s.count = req_uint(o, "count", ctx);
+  for (const Json& level : req_array(o, "levels", ctx).elements()) {
+    stats::QuantileSketch::LevelState lvl;
+    for (const Json& item : req_array(level, "items", ctx).elements()) {
+      if (!item.is_number()) fail(ctx, "sketch items must be numbers");
+      lvl.items.push_back(item.as_number());
+    }
+    lvl.keep_odd = req_bool(level, "keep_odd", ctx);
+    s.levels.push_back(std::move(lvl));
+  }
+  return s;
+}
+
+Json reservoir_to_json(const stats::ReservoirSample::State& s) {
+  Json entries = Json::array();
+  for (const auto& [tag, value] : s.entries) {
+    Json pair = Json::array();
+    pair.push_back(tag);
+    pair.push_back(value);
+    entries.push_back(std::move(pair));
+  }
+  Json o = Json::object();
+  o.set("count", s.count);
+  o.set("entries", std::move(entries));
+  return o;
+}
+
+stats::ReservoirSample::State reservoir_from_json(const Json& o, const std::string& ctx) {
+  stats::ReservoirSample::State s;
+  s.count = req_uint(o, "count", ctx);
+  for (const Json& pair : req_array(o, "entries", ctx).elements()) {
+    if (!pair.is_array() || pair.elements().size() != 2 || !pair.elements()[0].is_number() ||
+        !pair.elements()[1].is_number()) {
+      fail(ctx, "reservoir entries must be [tag, value] number pairs");
+    }
+    const double tag = pair.elements()[0].as_number();
+    if (tag < 0.0 || tag != std::floor(tag)) fail(ctx, "reservoir tags must be non-negative integers");
+    s.entries.emplace_back(static_cast<std::uint64_t>(tag), pair.elements()[1].as_number());
+  }
+  return s;
+}
+
+Json summary_to_json(const stats::StreamingSummary::State& s) {
+  Json o = Json::object();
+  o.set("moments", moments_to_json(s.moments));
+  o.set("sketch", sketch_to_json(s.sketch));
+  o.set("reservoir", reservoir_to_json(s.reservoir));
+  return o;
+}
+
+stats::StreamingSummary::State summary_from_json(const Json& o, const std::string& ctx) {
+  stats::StreamingSummary::State s;
+  s.moments = moments_from_json(require(o, "moments", ctx), ctx);
+  s.sketch = sketch_from_json(require(o, "sketch", ctx), ctx);
+  s.reservoir = reservoir_from_json(require(o, "reservoir", ctx), ctx);
+  return s;
+}
+
+Json ids_to_json(const std::vector<graph::NodeId>& ids) {
+  Json arr = Json::array();
+  for (const graph::NodeId u : ids) arr.push_back(static_cast<std::uint64_t>(u));
+  return arr;
+}
+
+std::vector<graph::NodeId> ids_from_json(const Json& arr, const char* what,
+                                         const std::string& ctx) {
+  if (!arr.is_array()) fail(ctx, std::string("key '") + what + "' must be an array");
+  std::vector<graph::NodeId> out;
+  out.reserve(arr.elements().size());
+  for (const Json& v : arr.elements()) {
+    if (!v.is_number() || v.as_number() < 0.0 || v.as_number() != std::floor(v.as_number()) ||
+        v.as_number() > static_cast<double>(std::numeric_limits<graph::NodeId>::max())) {
+      fail(ctx, std::string("'") + what + "' entries must be node ids");
+    }
+    out.push_back(static_cast<graph::NodeId>(v.as_number()));
+  }
+  return out;
+}
+
+/// One snapshot's validated header.
+struct SnapshotHeader {
+  std::string campaign;
+  std::string spec_hash;
+  std::uint64_t block_size = 0;
+  std::uint64_t sketch_capacity = 0;
+  std::uint64_t reservoir_capacity = 0;
+  std::uint32_t shard_index = 1;
+  std::uint32_t shard_count = 1;
+  bool finished = false;
+  std::uint64_t blocks_done = 0;
+};
+
+SnapshotHeader parse_header(const Json& doc, const std::string& ctx) {
+  if (!doc.is_object()) fail(ctx, "document is not a JSON object");
+  const std::string format = req_string(doc, "format", ctx);
+  if (format != kSnapshotFormat) {
+    fail(ctx, "not a campaign checkpoint (format '" + format + "', expected '" +
+                  kSnapshotFormat + "')");
+  }
+  const std::uint64_t version = req_uint(doc, "version", ctx);
+  if (version != static_cast<std::uint64_t>(kSnapshotVersion)) {
+    fail(ctx, "unsupported checkpoint version " + std::to_string(version) + " (this build reads " +
+                  std::to_string(kSnapshotVersion) + ")");
+  }
+  SnapshotHeader h;
+  h.campaign = req_string(doc, "campaign", ctx);
+  h.spec_hash = req_string(doc, "spec_hash", ctx);
+  h.block_size = req_uint(doc, "block_size", ctx);
+  h.sketch_capacity = req_uint(doc, "sketch_capacity", ctx);
+  h.reservoir_capacity = req_uint(doc, "reservoir_capacity", ctx);
+  h.shard_index = static_cast<std::uint32_t>(req_uint(doc, "shard_index", ctx));
+  h.shard_count = static_cast<std::uint32_t>(req_uint(doc, "shard_count", ctx));
+  h.finished = req_bool(doc, "finished", ctx);
+  h.blocks_done = req_uint(doc, "blocks_done", ctx);
+  return h;
+}
+
+/// Header checks shared by resume and merge: the snapshot must describe
+/// exactly this spec (name + fingerprint).
+void check_spec_identity(const SnapshotHeader& h, const std::string& campaign_name,
+                         const std::string& spec_hash, const std::string& ctx) {
+  if (h.campaign != campaign_name) {
+    fail(ctx, "snapshot is for campaign '" + h.campaign + "', this spec is '" + campaign_name +
+                  "'");
+  }
+  if (h.spec_hash != spec_hash) {
+    fail(ctx, "spec hash mismatch (snapshot " + h.spec_hash + ", spec " + spec_hash +
+                  "): the spec file or its --trials/--seed/--scale overrides changed");
+  }
+}
+
+}  // namespace
+
+// --- CampaignRecorder --------------------------------------------------------
+
+CampaignRecorder::CampaignRecorder(const std::vector<CampaignConfig>& configs,
+                                   const CampaignOptions& options, std::string campaign_name)
+    : configs_(configs), options_(options), campaign_name_(std::move(campaign_name)) {
+  options_.block_size = std::max<std::uint64_t>(options_.block_size, 1);
+  options_.shard_count = std::max<std::uint32_t>(options_.shard_count, 1);
+  spec_hash_ = campaign_fingerprint(campaign_name_, configs_);
+  store_.resize(configs_.size());
+}
+
+void CampaignRecorder::record_graph(std::size_t config, const std::string& graph_name,
+                                    std::uint64_t n) {
+  const std::scoped_lock lock(mutex_);
+  StoredConfig& sc = store_[config];
+  sc.graph_name = graph_name;
+  sc.n = n;
+  sc.has_graph = true;
+}
+
+void CampaignRecorder::record_trial_slot(std::size_t config, std::size_t slot,
+                                         const stats::StreamingSummary& partial) {
+  Json s = summary_to_json(partial.state());
+  const std::scoped_lock lock(mutex_);
+  StoredConfig& sc = store_[config];
+  sc.phase = "trials";
+  sc.slots[slot] = std::move(s);
+}
+
+void CampaignRecorder::record_plan(std::size_t config,
+                                   const std::vector<graph::NodeId>& candidates) {
+  const std::scoped_lock lock(mutex_);
+  StoredConfig& sc = store_[config];
+  sc.phase = "screen";
+  sc.candidates = candidates;
+  sc.has_candidates = true;
+}
+
+void CampaignRecorder::record_screen_slot(std::size_t config, std::uint32_t entrant,
+                                          std::size_t slot,
+                                          const stats::RunningMoments& partial) {
+  Json m = moments_to_json(partial.state());
+  const std::scoped_lock lock(mutex_);
+  store_[config].screen[{entrant, slot}] = std::move(m);
+}
+
+void CampaignRecorder::record_finalists(std::size_t config,
+                                        const std::vector<graph::NodeId>& finalists) {
+  const std::scoped_lock lock(mutex_);
+  StoredConfig& sc = store_[config];
+  sc.phase = "refine";
+  sc.finalists = finalists;
+  sc.has_finalists = true;
+  // The screen pass is folded and gone; the snapshot drops it with it.
+  sc.screen.clear();
+  sc.candidates.clear();
+  sc.has_candidates = false;
+}
+
+void CampaignRecorder::record_refine_slot(std::size_t config, std::uint32_t entrant,
+                                          std::size_t slot,
+                                          const stats::StreamingSummary& partial) {
+  Json s = summary_to_json(partial.state());
+  const std::scoped_lock lock(mutex_);
+  store_[config].refine[{entrant, slot}] = std::move(s);
+}
+
+void CampaignRecorder::record_done(std::size_t config, const CampaignResult& result) {
+  Json r = Json::object();
+  r.set("graph", result.graph_name);
+  r.set("n", result.n);
+  r.set("source", static_cast<std::uint64_t>(result.source));
+  r.set("best_source", static_cast<std::uint64_t>(result.best_source));
+  r.set("best_mean", result.best_mean);
+  r.set("summary", summary_to_json(result.summary.state()));
+  const std::scoped_lock lock(mutex_);
+  StoredConfig& sc = store_[config];
+  sc.phase = "done";
+  sc.result = std::move(r);
+  sc.slots.clear();
+  sc.screen.clear();
+  sc.refine.clear();
+  sc.candidates.clear();
+  sc.finalists.clear();
+  sc.has_candidates = false;
+  sc.has_finalists = false;
+}
+
+bool CampaignRecorder::block_finished() {
+  bool write = false;
+  bool stop = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    ++blocks_done_;
+    ++session_blocks_;
+    stop = options_.stop_after_blocks != 0 && session_blocks_ >= options_.stop_after_blocks;
+    write = !stop && !options_.checkpoint_file.empty() && options_.checkpoint_every != 0 &&
+            session_blocks_ % options_.checkpoint_every == 0;
+  }
+  // The stop path skips the periodic write: run_campaign_resumable writes
+  // the final (authoritative) snapshot after the queue drains.
+  if (write) write_checkpoint(false);
+  return stop;
+}
+
+Json CampaignRecorder::snapshot(bool finished) const {
+  const std::scoped_lock lock(mutex_);
+  Json doc = Json::object();
+  doc.set("format", kSnapshotFormat);
+  doc.set("version", kSnapshotVersion);
+  doc.set("campaign", campaign_name_);
+  doc.set("spec_hash", spec_hash_);
+  doc.set("block_size", options_.block_size);
+  doc.set("sketch_capacity", static_cast<std::uint64_t>(options_.sketch_capacity));
+  doc.set("reservoir_capacity", static_cast<std::uint64_t>(options_.reservoir_capacity));
+  doc.set("shard_index", options_.shard_index);
+  doc.set("shard_count", options_.shard_count);
+  doc.set("finished", finished);
+  doc.set("blocks_done", blocks_done_);
+  Json arr = Json::array();
+  for (std::size_t c = 0; c < store_.size(); ++c) {
+    const StoredConfig& sc = store_[c];
+    Json e = Json::object();
+    e.set("id", resolved_config_id(configs_[c], c));
+    e.set("phase", sc.phase);
+    if (sc.phase == "done") {
+      e.set("result", sc.result);
+      arr.push_back(std::move(e));
+      continue;
+    }
+    if (sc.has_graph) {
+      e.set("graph", sc.graph_name);
+      e.set("n", sc.n);
+    }
+    if (!sc.slots.empty()) {
+      Json slots = Json::array();
+      for (const auto& [slot, summary] : sc.slots) {
+        Json s = Json::object();
+        s.set("slot", static_cast<std::uint64_t>(slot));
+        s.set("summary", summary);
+        slots.push_back(std::move(s));
+      }
+      e.set("slots", std::move(slots));
+    }
+    if (sc.has_candidates) e.set("candidates", ids_to_json(sc.candidates));
+    if (!sc.screen.empty()) {
+      Json screen = Json::array();
+      for (const auto& [key, moments] : sc.screen) {
+        Json s = Json::object();
+        s.set("entrant", static_cast<std::uint64_t>(key.first));
+        s.set("slot", static_cast<std::uint64_t>(key.second));
+        s.set("moments", moments);
+        screen.push_back(std::move(s));
+      }
+      e.set("screen", std::move(screen));
+    }
+    if (sc.has_finalists) e.set("finalists", ids_to_json(sc.finalists));
+    if (!sc.refine.empty()) {
+      Json refine = Json::array();
+      for (const auto& [key, summary] : sc.refine) {
+        Json s = Json::object();
+        s.set("entrant", static_cast<std::uint64_t>(key.first));
+        s.set("slot", static_cast<std::uint64_t>(key.second));
+        s.set("summary", summary);
+        refine.push_back(std::move(s));
+      }
+      e.set("refine", std::move(refine));
+    }
+    arr.push_back(std::move(e));
+  }
+  doc.set("configs", std::move(arr));
+  return doc;
+}
+
+void CampaignRecorder::write_checkpoint(bool finished) const {
+  const std::scoped_lock write_lock(write_mutex_);
+  const Json doc = snapshot(finished);
+  std::string error;
+  if (!write_file_atomic(options_.checkpoint_file, doc.dump(2) + "\n", error)) {
+    throw std::runtime_error("checkpoint: cannot write " + options_.checkpoint_file + ": " +
+                             error);
+  }
+}
+
+std::uint64_t CampaignRecorder::blocks_done() const {
+  const std::scoped_lock lock(mutex_);
+  return blocks_done_;
+}
+
+std::vector<CampaignRecorder::Restored> CampaignRecorder::load(const Json& doc) {
+  const std::string ctx = "checkpoint";
+  const SnapshotHeader h = parse_header(doc, ctx);
+  check_spec_identity(h, campaign_name_, spec_hash_, ctx);
+  if (h.block_size != options_.block_size) {
+    fail(ctx, "snapshot used block size " + std::to_string(h.block_size) + ", this run uses " +
+                  std::to_string(options_.block_size));
+  }
+  if (h.sketch_capacity != options_.sketch_capacity ||
+      h.reservoir_capacity != options_.reservoir_capacity) {
+    fail(ctx, "snapshot used sketch/reservoir capacities " + std::to_string(h.sketch_capacity) +
+                  "/" + std::to_string(h.reservoir_capacity) + ", this run uses " +
+                  std::to_string(options_.sketch_capacity) + "/" +
+                  std::to_string(options_.reservoir_capacity));
+  }
+  if (h.shard_index != options_.shard_index || h.shard_count != options_.shard_count) {
+    fail(ctx, "snapshot is shard " + std::to_string(h.shard_index) + "/" +
+                  std::to_string(h.shard_count) + " but this run is shard " +
+                  std::to_string(options_.shard_index) + "/" +
+                  std::to_string(options_.shard_count));
+  }
+  const Json& entries = req_array(doc, "configs", ctx);
+  if (entries.elements().size() != configs_.size()) {
+    fail(ctx, "snapshot has " + std::to_string(entries.elements().size()) + " configs, spec has " +
+                  std::to_string(configs_.size()));
+  }
+
+  std::vector<Restored> out(configs_.size());
+  std::vector<StoredConfig> loaded(configs_.size());
+  for (std::size_t c = 0; c < configs_.size(); ++c) {
+    const CampaignConfig& cfg = configs_[c];
+    const Json& e = entries.elements()[c];
+    const std::string id = resolved_config_id(cfg, c);
+    const std::string ectx = ctx + ": configs[" + std::to_string(c) + "] ('" + id + "')";
+    if (req_string(e, "id", ectx) != id) {
+      fail(ectx, "id mismatch (snapshot '" + req_string(e, "id", ectx) + "')");
+    }
+    const std::string phase = req_string(e, "phase", ectx);
+    const bool race = cfg.source_policy == SourcePolicy::kRace;
+    Restored& r = out[c];
+    StoredConfig& sc = loaded[c];
+    sc.phase = phase;
+    if (const Json* g = e.find("graph"); g != nullptr && g->is_string()) {
+      sc.graph_name = g->as_string();
+      sc.n = req_uint(e, "n", ectx);
+      sc.has_graph = true;
+    }
+
+    if (phase == "pending") {
+      r.phase = Restored::Phase::kPending;
+    } else if (phase == "trials") {
+      if (race) fail(ectx, "race configuration cannot be in phase 'trials'");
+      r.phase = Restored::Phase::kTrials;
+      const std::size_t slots = slot_count(cfg.trials, options_.block_size);
+      for (const Json& s : opt_array(e, "slots", ectx)) {
+        const std::size_t slot = static_cast<std::size_t>(req_uint(s, "slot", ectx));
+        if (slot >= slots) {
+          fail(ectx, "slot " + std::to_string(slot) + " out of range (config has " +
+                         std::to_string(slots) + " blocks)");
+        }
+        if (!sc.slots.emplace(slot, require(s, "summary", ectx)).second) {
+          fail(ectx, "duplicate slot " + std::to_string(slot));
+        }
+      }
+      for (const auto& [slot, summary] : sc.slots) {
+        r.trial_slots.emplace_back(slot, summary_from_json(summary, ectx));
+      }
+    } else if (phase == "screen") {
+      if (!race) fail(ectx, "fixed-source configuration cannot be in phase 'screen'");
+      r.phase = Restored::Phase::kScreen;
+      r.candidates = ids_from_json(require(e, "candidates", ectx), "candidates", ectx);
+      if (r.candidates.empty()) fail(ectx, "'candidates' must be non-empty");
+      sc.candidates = r.candidates;
+      sc.has_candidates = true;
+      const std::size_t slots = slot_count(cfg.race.screen_trials, options_.block_size);
+      for (const Json& s : opt_array(e, "screen", ectx)) {
+        const auto entrant = static_cast<std::uint32_t>(req_uint(s, "entrant", ectx));
+        const std::size_t slot = static_cast<std::size_t>(req_uint(s, "slot", ectx));
+        if (entrant >= r.candidates.size() || slot >= slots) {
+          fail(ectx, "screen block (entrant " + std::to_string(entrant) + ", slot " +
+                         std::to_string(slot) + ") out of range");
+        }
+        if (!sc.screen.emplace(std::make_pair(entrant, slot), require(s, "moments", ectx))
+                 .second) {
+          fail(ectx, "duplicate screen block (entrant " + std::to_string(entrant) + ", slot " +
+                         std::to_string(slot) + ")");
+        }
+      }
+      for (const auto& [key, moments] : sc.screen) {
+        r.screen_slots.emplace_back(key.first, key.second, moments_from_json(moments, ectx));
+      }
+    } else if (phase == "refine") {
+      if (!race) fail(ectx, "fixed-source configuration cannot be in phase 'refine'");
+      r.phase = Restored::Phase::kRefine;
+      r.finalists = ids_from_json(require(e, "finalists", ectx), "finalists", ectx);
+      if (r.finalists.empty()) fail(ectx, "'finalists' must be non-empty");
+      sc.finalists = r.finalists;
+      sc.has_finalists = true;
+      const std::uint64_t final_trials =
+          cfg.race.final_trials != 0 ? cfg.race.final_trials : cfg.trials;
+      const std::size_t slots = slot_count(final_trials, options_.block_size);
+      for (const Json& s : opt_array(e, "refine", ectx)) {
+        const auto entrant = static_cast<std::uint32_t>(req_uint(s, "entrant", ectx));
+        const std::size_t slot = static_cast<std::size_t>(req_uint(s, "slot", ectx));
+        if (entrant >= r.finalists.size() || slot >= slots) {
+          fail(ectx, "refine block (entrant " + std::to_string(entrant) + ", slot " +
+                         std::to_string(slot) + ") out of range");
+        }
+        if (!sc.refine.emplace(std::make_pair(entrant, slot), require(s, "summary", ectx))
+                 .second) {
+          fail(ectx, "duplicate refine block (entrant " + std::to_string(entrant) + ", slot " +
+                         std::to_string(slot) + ")");
+        }
+      }
+      for (const auto& [key, summary] : sc.refine) {
+        r.refine_slots.emplace_back(key.first, key.second, summary_from_json(summary, ectx));
+      }
+    } else if (phase == "done") {
+      r.phase = Restored::Phase::kDone;
+      const Json& result = require(e, "result", ectx);
+      r.graph_name = req_string(result, "graph", ectx);
+      r.n = req_uint(result, "n", ectx);
+      r.source = static_cast<graph::NodeId>(req_uint(result, "source", ectx));
+      r.best_source = static_cast<graph::NodeId>(req_uint(result, "best_source", ectx));
+      r.best_mean = req_number(result, "best_mean", ectx);
+      r.summary = summary_from_json(require(result, "summary", ectx), ectx);
+      sc.result = result;
+      sc.has_graph = false;  // the result carries the graph identity
+    } else {
+      fail(ectx, "unknown phase '" + phase + "'");
+    }
+  }
+
+  const std::scoped_lock lock(mutex_);
+  store_ = std::move(loaded);
+  blocks_done_ = h.blocks_done;
+  return out;
+}
+
+// --- Merge -------------------------------------------------------------------
+
+std::vector<CampaignResult> merge_campaign_snapshots(const std::vector<CampaignConfig>& configs,
+                                                     const std::string& campaign_name,
+                                                     const std::vector<Json>& snapshots) {
+  if (snapshots.empty()) throw std::runtime_error("merge: no shard snapshots given");
+  const std::string spec_hash = campaign_fingerprint(campaign_name, configs);
+  const auto k = static_cast<std::uint32_t>(snapshots.size());
+
+  std::vector<const Json*> by_shard(k, nullptr);  // 0-based: shard i -> snapshot doc
+  std::uint64_t block_size = 0;
+  std::uint64_t sketch_capacity = 0;
+  std::uint64_t reservoir_capacity = 0;
+  for (std::size_t f = 0; f < snapshots.size(); ++f) {
+    const std::string ctx = "merge: snapshot " + std::to_string(f + 1);
+    const SnapshotHeader h = parse_header(snapshots[f], ctx);
+    check_spec_identity(h, campaign_name, spec_hash, ctx);
+    if (h.shard_count != k) {
+      fail(ctx, "declares " + std::to_string(h.shard_count) + " shards but " + std::to_string(k) +
+                    " snapshot files were given");
+    }
+    if (h.shard_index < 1 || h.shard_index > k) {
+      fail(ctx, "shard index " + std::to_string(h.shard_index) + " out of range 1.." +
+                    std::to_string(k));
+    }
+    if (!h.finished) {
+      fail(ctx, "shard " + std::to_string(h.shard_index) +
+                    " is unfinished — resume it to completion before merging");
+    }
+    if (by_shard[h.shard_index - 1] != nullptr) {
+      fail(ctx, "duplicate shard " + std::to_string(h.shard_index));
+    }
+    by_shard[h.shard_index - 1] = &snapshots[f];
+    if (f == 0) {
+      block_size = h.block_size;
+      sketch_capacity = h.sketch_capacity;
+      reservoir_capacity = h.reservoir_capacity;
+    } else if (h.block_size != block_size || h.sketch_capacity != sketch_capacity ||
+               h.reservoir_capacity != reservoir_capacity) {
+      fail(ctx, "block size or capacities disagree with snapshot 1 (block " +
+                    std::to_string(h.block_size) + " vs " + std::to_string(block_size) + ")");
+    }
+  }
+  // k files with k distinct in-range indices fill every slot; any gap has
+  // already been reported as a duplicate of some other index.
+
+  // Validate per-shard config arrays once up front.
+  for (std::uint32_t s = 0; s < k; ++s) {
+    const std::string ctx = "merge: shard " + std::to_string(s + 1);
+    const Json& entries = req_array(*by_shard[s], "configs", ctx);
+    if (entries.elements().size() != configs.size()) {
+      fail(ctx, "snapshot has " + std::to_string(entries.elements().size()) +
+                    " configs, spec has " + std::to_string(configs.size()));
+    }
+  }
+
+  std::vector<CampaignResult> results;
+  results.reserve(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const CampaignConfig& cfg = configs[c];
+    CampaignResult r = campaign_result_skeleton(cfg, c);
+    const std::string ctx = "merge: config '" + r.id + "'";
+    const stats::StreamingSummary::Options summary_options = summary_options_for(
+        cfg, static_cast<std::size_t>(sketch_capacity),
+        static_cast<std::size_t>(reservoir_capacity));
+
+    std::uint32_t done_shard = 0;  // 1-based; 0 = none
+    const Json* done_result = nullptr;
+    std::map<std::size_t, std::pair<std::uint32_t, const Json*>> slots;  // slot -> (shard, summary)
+    std::string graph_name;
+    std::uint64_t graph_n = 0;
+    std::uint32_t graph_shard = 0;
+
+    for (std::uint32_t s = 0; s < k; ++s) {
+      const Json& e = by_shard[s]->find("configs")->elements()[c];
+      const std::string id = req_string(e, "id", ctx);
+      if (id != r.id) {
+        fail(ctx, "shard " + std::to_string(s + 1) + " calls configs[" + std::to_string(c) +
+                      "] '" + id + "'");
+      }
+      const std::string phase = req_string(e, "phase", ctx);
+      if (phase == "pending") continue;
+      if (phase == "done") {
+        if (done_shard != 0) {
+          fail(ctx, "final result recorded by both shard " + std::to_string(done_shard) +
+                        " and shard " + std::to_string(s + 1));
+        }
+        done_shard = s + 1;
+        done_result = &require(e, "result", ctx);
+        continue;
+      }
+      if (phase != "trials") {
+        fail(ctx, "shard " + std::to_string(s + 1) + " left this config mid-race (phase '" +
+                      phase + "'); shard snapshots must be finished");
+      }
+      if (cfg.source_policy == SourcePolicy::kRace) {
+        fail(ctx, "race configuration has trial blocks in shard " + std::to_string(s + 1) +
+                      " (races are owned wholesale by one shard)");
+      }
+      const std::string shard_graph = req_string(e, "graph", ctx);
+      const std::uint64_t shard_n = req_uint(e, "n", ctx);
+      if (graph_shard == 0) {
+        graph_name = shard_graph;
+        graph_n = shard_n;
+        graph_shard = s + 1;
+      } else if (shard_graph != graph_name || shard_n != graph_n) {
+        fail(ctx, "graph metadata disagrees between shard " + std::to_string(graph_shard) +
+                      " and shard " + std::to_string(s + 1));
+      }
+      for (const Json& slot_entry : req_array(e, "slots", ctx).elements()) {
+        const std::size_t slot = static_cast<std::size_t>(req_uint(slot_entry, "slot", ctx));
+        const auto [it, inserted] =
+            slots.emplace(slot, std::make_pair(s + 1, &require(slot_entry, "summary", ctx)));
+        if (!inserted) {
+          fail(ctx, "slot " + std::to_string(slot) + " recorded by both shard " +
+                        std::to_string(it->second.first) + " and shard " + std::to_string(s + 1));
+        }
+      }
+    }
+
+    if (done_shard != 0) {
+      if (!slots.empty()) {
+        fail(ctx, "shard " + std::to_string(done_shard) + " has the final result but shard " +
+                      std::to_string(slots.begin()->second.first) + " also recorded block slots");
+      }
+      r.graph_name = req_string(*done_result, "graph", ctx);
+      r.n = req_uint(*done_result, "n", ctx);
+      r.source = static_cast<graph::NodeId>(req_uint(*done_result, "source", ctx));
+      r.best_source = static_cast<graph::NodeId>(req_uint(*done_result, "best_source", ctx));
+      r.best_mean = req_number(*done_result, "best_mean", ctx);
+      r.summary = stats::StreamingSummary::restored(
+          summary_options, summary_from_json(require(*done_result, "summary", ctx), ctx));
+    } else {
+      if (cfg.source_policy == SourcePolicy::kRace) {
+        fail(ctx, "no shard finished this race configuration (coverage gap)");
+      }
+      const std::size_t expected = slot_count(cfg.trials, std::max<std::uint64_t>(block_size, 1));
+      for (std::size_t slot = 0; slot < expected; ++slot) {
+        if (slots.find(slot) == slots.end()) {
+          fail(ctx, "missing block slot " + std::to_string(slot) + " of " +
+                        std::to_string(expected) + " (coverage gap — were all " +
+                        std::to_string(k) + " shard files provided?)");
+        }
+      }
+      // Fold in slot order, exactly like the scheduler's last-block fold, so
+      // the merged summary is bit-identical to the unsharded run's.
+      auto it = slots.begin();
+      stats::StreamingSummary total = stats::StreamingSummary::restored(
+          summary_options, summary_from_json(*it->second.second, ctx));
+      for (++it; it != slots.end(); ++it) {
+        total.merge(stats::StreamingSummary::restored(
+            summary_options, summary_from_json(*it->second.second, ctx)));
+      }
+      r.summary = std::move(total);
+      r.graph_name = graph_name;
+      r.n = graph_n;
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+// --- File helpers and the merge CLI ------------------------------------------
+
+std::optional<Json> read_json_file(const std::string& path, const char* prog,
+                                   std::ostream& err) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    err << prog << ": cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  auto doc = Json::parse(text.str());
+  if (!doc) {
+    err << prog << ": " << path << " is not valid JSON\n";
+    return std::nullopt;
+  }
+  return doc;
+}
+
+std::optional<CampaignSpec> load_campaign_spec_file(const std::string& path,
+                                                    std::uint64_t trials_override,
+                                                    std::uint64_t seed_override, unsigned scale,
+                                                    const char* prog, std::ostream& err) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    err << prog << ": cannot read campaign spec " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  const auto doc = Json::parse(text.str());
+  if (!doc) {
+    err << prog << ": " << path << " is not valid JSON\n";
+    return std::nullopt;
+  }
+  CampaignSpec spec = parse_campaign_spec(*doc);
+  if (!spec.error.empty()) {
+    err << prog << ": bad campaign spec: " << spec.error << "\n";
+    return std::nullopt;
+  }
+  // The global overrides keep their documented meaning here: --trials
+  // replaces every configuration's trial count (--scale multiplies the
+  // spec's own counts otherwise) and --seed replaces every root seed.
+  for (CampaignConfig& cfg : spec.configs) {
+    cfg.trials = trials_override != 0 ? trials_override : cfg.trials * scale;
+    if (seed_override != 0) cfg.seed = seed_override;
+  }
+  return spec;
+}
+
+namespace {
+
+void print_merge_usage(std::ostream& out) {
+  out << "usage: campaign_merge --campaign spec.json [options] shard1.json shard2.json ...\n"
+         "\n"
+         "Folds the finished shard snapshots of one campaign (produced by\n"
+         "rumor_bench --campaign spec.json --shard i/k) into the final reports,\n"
+         "bit-identical to the unsharded run's --json output.\n"
+         "\n"
+         "options:\n"
+         "  --campaign FILE  the campaign spec the shards were run from (required)\n"
+         "  --out FILE       write the merged report via temp-file + atomic rename\n"
+         "  --trials N       repeat the override the shard runs used, if any\n"
+         "  --seed S         repeat the override the shard runs used, if any\n"
+         "  --scale K        repeat the override the shard runs used, if any\n"
+         "  --help           this text\n";
+}
+
+}  // namespace
+
+int run_campaign_merge_cli(int argc, const char* const* argv, std::ostream& out,
+                           std::ostream& err) {
+  constexpr const char* kProg = "campaign_merge";
+  std::string campaign_file;
+  std::string out_file;
+  std::uint64_t trials = 0;
+  std::uint64_t seed = 0;
+  unsigned scale = 1;
+  std::vector<std::string> files;
+
+  auto numeric_arg = [&](int& i, const char* flag) -> std::optional<std::uint64_t> {
+    if (i + 1 >= argc) {
+      err << kProg << ": " << flag << " requires a value\n";
+      return std::nullopt;
+    }
+    ++i;
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(argv[i], &end, 10);
+    if (argv[i][0] == '-' || argv[i][0] == '+' || end == argv[i] || *end != '\0' ||
+        v > (std::uint64_t{1} << 53)) {
+      err << kProg << ": bad value for " << flag << ": " << argv[i] << "\n";
+      return std::nullopt;
+    }
+    return v;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_merge_usage(out);
+      return 0;
+    } else if (arg == "--campaign") {
+      if (i + 1 >= argc) {
+        err << kProg << ": --campaign requires a file path\n";
+        return 2;
+      }
+      campaign_file = argv[++i];
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) {
+        err << kProg << ": --out requires a file path\n";
+        return 2;
+      }
+      out_file = argv[++i];
+    } else if (arg == "--trials") {
+      const auto v = numeric_arg(i, "--trials");
+      if (!v) return 2;
+      trials = *v;
+    } else if (arg == "--seed") {
+      const auto v = numeric_arg(i, "--seed");
+      if (!v) return 2;
+      seed = *v;
+    } else if (arg == "--scale") {
+      const auto v = numeric_arg(i, "--scale");
+      if (!v) return 2;
+      scale = static_cast<unsigned>(std::clamp<std::uint64_t>(*v, 1, 64));
+    } else if (!arg.empty() && arg.front() == '-') {
+      err << kProg << ": unknown option " << arg << "\n";
+      print_merge_usage(err);
+      return 2;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+
+  if (campaign_file.empty()) {
+    err << kProg << ": --campaign spec.json is required\n";
+    print_merge_usage(err);
+    return 2;
+  }
+  if (files.empty()) {
+    err << kProg << ": at least one shard snapshot file is required\n";
+    print_merge_usage(err);
+    return 2;
+  }
+
+  const auto spec = load_campaign_spec_file(campaign_file, trials, seed, scale, kProg, err);
+  if (!spec) return 2;
+  std::vector<Json> snapshots;
+  snapshots.reserve(files.size());
+  for (const std::string& f : files) {
+    auto doc = read_json_file(f, kProg, err);
+    if (!doc) return 2;
+    snapshots.push_back(std::move(*doc));
+  }
+
+  std::vector<CampaignResult> results;
+  try {
+    results = merge_campaign_snapshots(spec->configs, spec->name, snapshots);
+  } catch (const std::exception& e) {
+    err << kProg << ": " << e.what() << "\n";
+    return 1;
+  }
+
+  Json reports = Json::array();
+  for (const CampaignResult& r : results) reports.push_back(campaign_report(r, spec->name));
+  const std::string payload =
+      (reports.size() == 1 ? reports.elements().front().dump(2) : reports.dump(2)) + "\n";
+  if (!out_file.empty()) {
+    std::string error;
+    if (!write_file_atomic(out_file, payload, error)) {
+      err << kProg << ": " << error << "\n";
+      return 1;
+    }
+  } else {
+    out << payload;
+  }
+  return 0;
+}
+
+}  // namespace rumor::sim

@@ -1,0 +1,244 @@
+// rumor/sim: crash-safe checkpoints, deterministic sharding, and the
+// bit-identical merge layer for campaigns.
+//
+// A campaign reduces every configuration to mergeable accumulators whose
+// block partials land in fixed slots (sim/campaign.cpp). This module
+// persists that progress: a *snapshot* is a versioned JSON document holding
+// each configuration's completed block partials (exact serialized
+// accumulator state), its race phase (candidates / finalists), or its final
+// result. The same document serves three flows:
+//
+//   * checkpoint / resume — run_campaign_resumable writes snapshots
+//     periodically (atomic temp + fsync + rename); a resumed campaign
+//     re-runs only the missing blocks and produces a final report
+//     bit-identical to an uninterrupted run at any thread count;
+//   * sharding — `--shard i/k` partitions the block space by a stable hash
+//     of (config id, slot), independent of thread count and enqueue order
+//     (race configurations hash by config id alone, so every successor
+//     block of a plan block lands on the same shard), and emits a finished
+//     partial snapshot;
+//   * merge — merge_campaign_snapshots folds k partial snapshots into the
+//     final results, validating format/version, spec hash, shard coverage
+//     and overlap first; the merged reports are bit-identical to the
+//     unsharded run's.
+//
+// Bit-identity rests on two facts: accumulator serialization round-trips
+// exactly (stats/streaming.hpp state() / restore(), doubles rendered by the
+// exact shortest-round-trip formatter of sim/experiment.cpp), and partials
+// are always folded in slot order, so a resumed or merged fold performs the
+// same merge sequence on bit-identical operands.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "sim/campaign.hpp"
+#include "sim/experiment.hpp"
+
+namespace rumor::sim {
+
+/// Snapshot document identification. `version` bumps on any schema change;
+/// loaders reject versions they do not understand.
+inline constexpr const char* kSnapshotFormat = "rumor-campaign-checkpoint";
+inline constexpr int kSnapshotVersion = 1;
+
+/// Stable fingerprint of (campaign name, fully-resolved configurations) —
+/// FNV-1a over a canonical rendering of every parameter that affects
+/// results. Recorded in every snapshot as `spec_hash`; resume and merge
+/// refuse snapshots whose hash does not match the spec they are given
+/// (including CLI --trials/--seed/--scale overrides, which must be repeated
+/// verbatim).
+[[nodiscard]] std::string campaign_fingerprint(const std::string& campaign_name,
+                                               const std::vector<CampaignConfig>& configs);
+
+/// The shard partition rule: which 0-based shard owns block `slot` of the
+/// configuration `config_id`. Race configurations pass whole_config = true
+/// and are owned wholesale by one shard (their screen/refine successor
+/// blocks must follow their plan block). Pure function of its arguments —
+/// never of thread count, enqueue order, or completion order.
+[[nodiscard]] std::uint32_t shard_of_block(const std::string& config_id, std::size_t slot,
+                                           bool whole_config, std::uint32_t shard_count);
+
+/// The configuration id run_campaign reports: cfg.id, or "cfg<index>" when
+/// the spec left it empty.
+[[nodiscard]] std::string resolved_config_id(const CampaignConfig& cfg, std::size_t index);
+
+/// What run_campaign_resumable returns beyond the plain result vector.
+struct CampaignOutcome {
+  /// Ordered like the input configs. Configurations whose blocks this run
+  /// did not finish (stopped early, or owned by other shards) carry only
+  /// their metadata skeleton — their progress lives in `snapshot`.
+  std::vector<CampaignResult> results;
+  /// False when the run stopped early (CampaignOptions::stop_after_blocks).
+  bool complete = true;
+  /// Blocks completed by this run, including restored progress from resume.
+  std::uint64_t blocks_done = 0;
+  /// The final snapshot document (checkpoint / shard partial); a null Json
+  /// when the run recorded nothing (no checkpoint, shard, stop, or resume).
+  Json snapshot;
+};
+
+/// run_campaign with checkpoint / shard / resume support. `resume` is a
+/// parsed snapshot document (nullptr = fresh start); it is validated
+/// against the configs, options, and campaign name before any work is
+/// scheduled, and a mismatch throws std::runtime_error naming the field.
+/// The determinism contract of run_campaign extends across interruptions:
+/// a resumed campaign's final report is bit-identical to an uninterrupted
+/// run at any thread count.
+[[nodiscard]] CampaignOutcome run_campaign_resumable(const std::vector<CampaignConfig>& configs,
+                                                     const CampaignOptions& options,
+                                                     const std::string& campaign_name,
+                                                     const Json* resume = nullptr);
+
+/// Folds k finished shard snapshots into the campaign's final results,
+/// bit-identical to the unsharded run. Validates before merging, throwing
+/// std::runtime_error on: format/version mismatch, campaign name or spec
+/// hash mismatch, block size or capacity disagreement between snapshots,
+/// wrong shard count, duplicate or missing shard indices, an unfinished
+/// shard, a coverage gap (a block slot no shard recorded), or an overlap (a
+/// slot or race result recorded by two shards) — each error names the
+/// configuration and slot/shards involved.
+[[nodiscard]] std::vector<CampaignResult> merge_campaign_snapshots(
+    const std::vector<CampaignConfig>& configs, const std::string& campaign_name,
+    const std::vector<Json>& snapshots);
+
+/// The streaming-summary options a campaign gives configuration `cfg`
+/// (per-config reservoir override, reservoir salted by the config seed).
+/// One definition shared by the scheduler and the merge tool, so restored
+/// summaries are always rebuilt with the exact construction parameters.
+[[nodiscard]] stats::StreamingSummary::Options summary_options_for(
+    const CampaignConfig& cfg, std::size_t sketch_capacity, std::size_t reservoir_capacity);
+
+/// Loads a campaign spec file and applies the rumor_bench CLI override
+/// semantics (--trials replaces every trial count, --scale multiplies the
+/// spec's own counts otherwise, --seed replaces every root seed). Shared by
+/// rumor_bench and tools/campaign_merge so both resolve identical configs —
+/// a prerequisite for spec-hash validation. Returns nullopt after printing
+/// a `prog`-prefixed diagnostic to `err`.
+[[nodiscard]] std::optional<CampaignSpec> load_campaign_spec_file(const std::string& path,
+                                                                  std::uint64_t trials_override,
+                                                                  std::uint64_t seed_override,
+                                                                  unsigned scale, const char* prog,
+                                                                  std::ostream& err);
+
+/// Reads and parses one JSON file; nullopt (with a `prog`-prefixed
+/// diagnostic on `err`) on a missing file or malformed document.
+[[nodiscard]] std::optional<Json> read_json_file(const std::string& path, const char* prog,
+                                                 std::ostream& err);
+
+/// The tools/campaign_merge entry point:
+///   campaign_merge --campaign spec.json [--out FILE] [--trials N]
+///                  [--seed S] [--scale K] shard1.json shard2.json ...
+/// Exit codes match rumor_bench: 0 = merged, 1 = merge validation failure,
+/// 2 = bad input. rumor_bench --merge drives the same merge path.
+int run_campaign_merge_cli(int argc, const char* const* argv, std::ostream& out,
+                           std::ostream& err);
+
+/// Thread-safe campaign progress store: the machinery behind snapshots.
+/// Internal to run_campaign_resumable — declared here only so the
+/// scheduler (campaign.cpp) and the snapshot codec (checkpoint.cpp) can
+/// share it; not part of the stable API surface.
+class CampaignRecorder {
+ public:
+  /// One configuration's progress restored from a snapshot, in
+  /// scheduler-neutral form (the scheduler rebuilds its internal state and
+  /// re-enqueues only the missing blocks).
+  struct Restored {
+    enum class Phase : std::uint8_t { kPending, kTrials, kScreen, kRefine, kDone };
+    Phase phase = Phase::kPending;
+    std::vector<std::pair<std::size_t, stats::StreamingSummary::State>> trial_slots;
+    std::vector<graph::NodeId> candidates;
+    std::vector<std::tuple<std::uint32_t, std::size_t, stats::RunningMoments::State>> screen_slots;
+    std::vector<graph::NodeId> finalists;
+    std::vector<std::tuple<std::uint32_t, std::size_t, stats::StreamingSummary::State>>
+        refine_slots;
+    // Phase::kDone only:
+    std::string graph_name;
+    std::uint64_t n = 0;
+    graph::NodeId source = 0;
+    graph::NodeId best_source = 0;
+    double best_mean = 0.0;
+    stats::StreamingSummary::State summary;
+  };
+
+  CampaignRecorder(const std::vector<CampaignConfig>& configs, const CampaignOptions& options,
+                   std::string campaign_name);
+
+  /// Validates `snapshot` against the configs/options/name and adopts it as
+  /// the starting state (subsequent snapshots re-emit the restored
+  /// progress). Returns per-config restored progress, indexed like configs.
+  /// Throws std::runtime_error naming the first mismatch.
+  [[nodiscard]] std::vector<Restored> load(const Json& snapshot);
+
+  // Worker-side recording. All thread-safe; each call serializes the
+  // partial's exact state under the store mutex.
+  void record_graph(std::size_t config, const std::string& graph_name, std::uint64_t n);
+  void record_trial_slot(std::size_t config, std::size_t slot,
+                         const stats::StreamingSummary& partial);
+  void record_plan(std::size_t config, const std::vector<graph::NodeId>& candidates);
+  void record_screen_slot(std::size_t config, std::uint32_t entrant, std::size_t slot,
+                          const stats::RunningMoments& partial);
+  void record_finalists(std::size_t config, const std::vector<graph::NodeId>& finalists);
+  void record_refine_slot(std::size_t config, std::uint32_t entrant, std::size_t slot,
+                          const stats::StreamingSummary& partial);
+  void record_done(std::size_t config, const CampaignResult& result);
+
+  /// Called by a worker after each completed block: advances the block
+  /// counter, writes a periodic checkpoint when one is due, and returns
+  /// true when the stop_after_blocks budget is exhausted (the caller then
+  /// drains the queue). Throws std::runtime_error if a checkpoint write
+  /// fails (a campaign that cannot persist progress should fail loudly).
+  [[nodiscard]] bool block_finished();
+
+  /// Serializes the full snapshot document. `finished` marks a snapshot
+  /// whose owned work is complete — what merge requires of shard partials.
+  [[nodiscard]] Json snapshot(bool finished) const;
+
+  /// Writes snapshot(finished) to the options' checkpoint_file through the
+  /// durable atomic-rename path. Throws std::runtime_error on failure.
+  void write_checkpoint(bool finished) const;
+
+  [[nodiscard]] std::uint64_t blocks_done() const;
+
+ private:
+  /// Mirror of one snapshot config entry; values are stored pre-serialized
+  /// (deterministically ordered maps) so snapshot() is a pure render.
+  struct StoredConfig {
+    std::string phase = "pending";
+    std::string graph_name;
+    std::uint64_t n = 0;
+    bool has_graph = false;
+    std::map<std::size_t, Json> slots;
+    std::vector<graph::NodeId> candidates;
+    bool has_candidates = false;
+    std::map<std::pair<std::uint32_t, std::size_t>, Json> screen;
+    std::vector<graph::NodeId> finalists;
+    bool has_finalists = false;
+    std::map<std::pair<std::uint32_t, std::size_t>, Json> refine;
+    Json result;  // is_object() once done
+  };
+
+  const std::vector<CampaignConfig>& configs_;
+  CampaignOptions options_;
+  std::string campaign_name_;
+  std::string spec_hash_;
+  mutable std::mutex mutex_;
+  /// Serializes checkpoint writes: concurrent periodic writers would share
+  /// one pid-derived temp file and tear it. Separate from mutex_ so workers
+  /// keep recording while a snapshot is on its way to disk.
+  mutable std::mutex write_mutex_;
+  std::vector<StoredConfig> store_;
+  std::uint64_t blocks_done_ = 0;    // total, including progress restored by load()
+  std::uint64_t session_blocks_ = 0; // completed by this process (drives the
+                                     // checkpoint cadence and the stop budget)
+};
+
+}  // namespace rumor::sim

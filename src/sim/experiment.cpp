@@ -3,17 +3,22 @@
 #include <algorithm>
 #include <cassert>
 #include <cctype>
+#include <cerrno>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include <fcntl.h>
 #include <unistd.h>
+
+#include "sim/checkpoint.hpp"
 
 #include "sim/campaign.hpp"
 #include "sim/table.hpp"
@@ -489,6 +494,9 @@ void print_usage(std::ostream& out) {
   out << "usage: rumor_bench [options] (--all | <experiment>...)\n"
          "       rumor_bench --list [--json]\n"
          "       rumor_bench --campaign spec.json [--json] [--threads T] [--batch B]\n"
+         "                   [--shard i/k] [--checkpoint FILE [--checkpoint-every N]]\n"
+         "                   [--resume FILE]\n"
+         "       rumor_bench --campaign spec.json --merge shard1.json shard2.json ...\n"
          "\n"
          "options:\n"
          "  --list           list registered experiments (title, claim, defaults) and exit\n"
@@ -497,7 +505,17 @@ void print_usage(std::ostream& out) {
          "  --out FILE       write the report to FILE via temp-file + atomic rename\n"
          "  --campaign FILE  run a JSON campaign spec over one shared trial-block queue\n"
          "                   (spec grammar: see bench/README.md)\n"
-         "  --batch B        campaign trials per scheduled block (default 32)\n"
+         "  --batch B        campaign trials per scheduled block (default 32); also the\n"
+         "                   checkpoint/shard granularity\n"
+         "  --shard i/k      run only shard i of k (deterministic block partition) and\n"
+         "                   emit the partial snapshot instead of a report\n"
+         "  --checkpoint FILE      write a crash-safe snapshot every --checkpoint-every\n"
+         "                         completed blocks (default 16) and at completion\n"
+         "  --resume FILE    restore progress from a snapshot; only missing blocks run,\n"
+         "                   and the final report is bit-identical to an unbroken run\n"
+         "  --stop-after-blocks N  stop after N blocks (exit 3; testing/ops hook)\n"
+         "  --merge          fold finished shard snapshots (positional args) into the\n"
+         "                   final report (also available as tools/campaign_merge)\n"
          "  --trials N       override the trial count of every measurement\n"
          "  --seed S         override the root seed (trial i uses stream i)\n"
          "  --threads T      worker threads (0 = hardware concurrency)\n"
@@ -505,36 +523,71 @@ void print_usage(std::ostream& out) {
          "  --help           this text\n";
 }
 
-/// Writes `contents` to `path` through a sibling temp file and an atomic
-/// rename, so readers (CI artifact capture in particular) never observe a
-/// truncated report even if the process dies mid-write. The temp name is
-/// pid-unique so concurrent writers with the same --out cannot interleave
-/// into one temp file; last rename wins with a complete report either way.
-bool write_file_atomic(const std::string& path, const std::string& contents, std::ostream& err) {
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      err << "rumor_bench: cannot open " << tmp << " for writing\n";
-      return false;
-    }
-    file << contents;
-    file.flush();
-    if (!file) {
-      err << "rumor_bench: short write to " << tmp << "\n";
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    err << "rumor_bench: cannot rename " << tmp << " to " << path << "\n";
-    std::remove(tmp.c_str());
+/// fsync on a directory makes the rename of a child durable. Failure is
+/// reported like any other error: a checkpoint that silently is not on disk
+/// defeats the whole contract.
+bool fsync_parent_dir(const std::string& path, std::string& error) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    error = "cannot open directory " + dir + " for fsync: " + std::strerror(errno);
     return false;
   }
+  if (::fsync(fd) != 0) {
+    error = "cannot fsync directory " + dir + ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
   return true;
 }
 
 }  // namespace
+
+bool write_file_atomic(const std::string& path, const std::string& contents,
+                       std::string& error) {
+  // The temp file is a *sibling* of the destination (same directory, hence
+  // same filesystem) so the rename is atomic, and pid-unique so concurrent
+  // writers with the same destination cannot interleave into one temp file;
+  // last rename wins with a complete file either way.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    error = "cannot open " + tmp + " for writing: " + std::strerror(errno);
+    return false;
+  }
+  auto fail = [&](const std::string& what) {
+    error = what;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  };
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ::ssize_t n = ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("short write to " + tmp + ": " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: otherwise a crash can leave the *renamed* file
+  // empty (metadata ordered before data), which for a checkpoint is worse
+  // than no file at all.
+  if (::fsync(fd) != 0) return fail("cannot fsync " + tmp + ": " + std::strerror(errno));
+  if (::close(fd) != 0) {
+    error = "cannot close " + tmp + ": " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    error = "cannot rename " + tmp + " to " + path + ": " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return fsync_parent_dir(path, error);
+}
 
 int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
   ExperimentOptions opts;
@@ -545,6 +598,15 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
   std::string campaign_file;
   std::string out_file;
   std::uint64_t batch = 32;
+  bool batch_explicit = false;
+  bool merge = false;
+  bool shard_explicit = false;
+  std::uint32_t shard_index = 1;
+  std::uint32_t shard_count = 1;
+  std::string checkpoint_file;
+  std::uint64_t checkpoint_every = 16;
+  std::string resume_file;
+  std::uint64_t stop_after_blocks = 0;
   std::vector<std::string> names;
 
   auto numeric_arg = [&](int& i, const char* flag) -> std::optional<std::uint64_t> {
@@ -610,6 +672,57 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
         return 2;
       }
       batch = *v;
+      batch_explicit = true;
+    } else if (arg == "--shard") {
+      if (i + 1 >= argc) {
+        err << "rumor_bench: --shard requires a value of the form i/k\n";
+        return 2;
+      }
+      ++i;
+      unsigned si = 0;
+      unsigned sk = 0;
+      char extra = 0;
+      // sscanf's %u silently accepts sign characters (strtoul semantics), so
+      // screen them out before parsing.
+      const bool signless = std::string_view(argv[i]).find_first_of("+-") == std::string_view::npos;
+      if (!signless || std::sscanf(argv[i], "%u/%u%c", &si, &sk, &extra) != 2 || si < 1 ||
+          si > sk) {
+        err << "rumor_bench: --shard wants i/k with 1 <= i <= k, got '" << argv[i] << "'\n";
+        return 2;
+      }
+      shard_index = si;
+      shard_count = sk;
+      shard_explicit = true;
+    } else if (arg == "--merge") {
+      merge = true;
+    } else if (arg == "--checkpoint") {
+      if (i + 1 >= argc) {
+        err << "rumor_bench: --checkpoint requires a file path\n";
+        return 2;
+      }
+      checkpoint_file = argv[++i];
+    } else if (arg == "--checkpoint-every") {
+      const auto v = numeric_arg(i, "--checkpoint-every");
+      if (!v) return 2;
+      if (*v == 0) {
+        err << "rumor_bench: --checkpoint-every must be >= 1\n";
+        return 2;
+      }
+      checkpoint_every = *v;
+    } else if (arg == "--resume") {
+      if (i + 1 >= argc) {
+        err << "rumor_bench: --resume requires a file path\n";
+        return 2;
+      }
+      resume_file = argv[++i];
+    } else if (arg == "--stop-after-blocks") {
+      const auto v = numeric_arg(i, "--stop-after-blocks");
+      if (!v) return 2;
+      if (*v == 0) {
+        err << "rumor_bench: --stop-after-blocks must be >= 1\n";
+        return 2;
+      }
+      stop_after_blocks = *v;
     } else if (arg == "--campaign") {
       if (i + 1 >= argc) {
         err << "rumor_bench: --campaign requires a file path\n";
@@ -642,7 +755,13 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
   std::ostringstream buffer;
   std::ostream& sink = out_file.empty() ? out : static_cast<std::ostream&>(buffer);
   auto finish = [&]() -> int {
-    if (!out_file.empty() && !write_file_atomic(out_file, buffer.str(), err)) return 1;
+    if (!out_file.empty()) {
+      std::string werr;
+      if (!write_file_atomic(out_file, buffer.str(), werr)) {
+        err << "rumor_bench: " << werr << "\n";
+        return 1;
+      }
+    }
     return 0;
   };
 
@@ -668,62 +787,142 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
     return finish();
   }
 
+  if (campaign_file.empty() &&
+      (merge || shard_explicit || !checkpoint_file.empty() || !resume_file.empty() ||
+       stop_after_blocks != 0)) {
+    err << "rumor_bench: --merge/--shard/--checkpoint/--resume/--stop-after-blocks require "
+           "--campaign\n";
+    return 2;
+  }
+
   if (!campaign_file.empty()) {
-    if (all || !names.empty()) {
+    // --merge consumes the positionals as shard snapshot files; everything
+    // else rejects them as stray experiment names.
+    if (all || (!merge && !names.empty())) {
       err << "rumor_bench: --campaign cannot be combined with experiment names or --all\n";
       return 2;
     }
-    std::ifstream file(campaign_file, std::ios::binary);
-    if (!file) {
-      err << "rumor_bench: cannot read campaign spec " << campaign_file << "\n";
+    if (stop_after_blocks != 0 && checkpoint_file.empty()) {
+      err << "rumor_bench: --stop-after-blocks requires --checkpoint\n";
       return 2;
     }
-    std::ostringstream text;
-    text << file.rdbuf();
-    const auto doc = Json::parse(text.str());
-    if (!doc) {
-      err << "rumor_bench: " << campaign_file << " is not valid JSON\n";
-      return 2;
+    const auto spec =
+        load_campaign_spec_file(campaign_file, opts.trials, opts.seed, opts.scale, "rumor_bench",
+                                err);
+    if (!spec) return 2;
+
+    auto render_results = [&](const std::vector<CampaignResult>& results) -> int {
+      Json reports = Json::array();
+      for (const CampaignResult& r : results) {
+        Json report = campaign_report(r, spec->name);
+        if (json) {
+          reports.push_back(std::move(report));
+        } else {
+          print_human(report, sink);
+        }
+      }
+      if (json) {
+        if (reports.size() == 1) {
+          sink << reports.elements().front().dump(2) << "\n";
+        } else {
+          sink << reports.dump(2) << "\n";
+        }
+      }
+      return finish();
+    };
+
+    if (merge) {
+      if (shard_explicit || !checkpoint_file.empty() || !resume_file.empty()) {
+        err << "rumor_bench: --merge cannot be combined with --shard/--checkpoint/--resume\n";
+        return 2;
+      }
+      if (names.empty()) {
+        err << "rumor_bench: --merge needs shard snapshot files as positional arguments\n";
+        return 2;
+      }
+      std::vector<Json> snapshots;
+      for (const std::string& f : names) {
+        auto doc = read_json_file(f, "rumor_bench", err);
+        if (!doc) return 2;
+        snapshots.push_back(std::move(*doc));
+      }
+      std::vector<CampaignResult> results;
+      try {
+        results = merge_campaign_snapshots(spec->configs, spec->name, snapshots);
+      } catch (const std::exception& e) {
+        err << "rumor_bench: merge failed: " << e.what() << "\n";
+        return 1;
+      }
+      return render_results(results);
     }
-    CampaignSpec spec = parse_campaign_spec(*doc);
-    if (!spec.error.empty()) {
-      err << "rumor_bench: bad campaign spec: " << spec.error << "\n";
-      return 2;
-    }
-    // The global overrides keep their documented meaning here: --trials
-    // replaces every configuration's trial count (--scale multiplies the
-    // spec's own counts otherwise) and --seed replaces every root seed.
-    for (CampaignConfig& cfg : spec.configs) {
-      cfg.trials = opts.trials != 0 ? opts.trials : cfg.trials * opts.scale;
-      if (opts.seed != 0) cfg.seed = opts.seed;
-    }
+
     CampaignOptions campaign_options;
     campaign_options.threads = opts.threads;
     campaign_options.block_size = batch;
-    std::vector<CampaignResult> results;
+    campaign_options.shard_index = shard_index;
+    campaign_options.shard_count = shard_count;
+    campaign_options.checkpoint_file = checkpoint_file;
+    campaign_options.checkpoint_every = checkpoint_every;
+    campaign_options.stop_after_blocks = stop_after_blocks;
+
+    const bool featured =
+        shard_explicit || !checkpoint_file.empty() || !resume_file.empty() ||
+        stop_after_blocks != 0;
+    if (!featured) {
+      // The historical path: no snapshot layer, byte-identical output.
+      std::vector<CampaignResult> results;
+      try {
+        results = run_campaign(spec->configs, campaign_options);
+      } catch (const std::exception& e) {
+        err << "rumor_bench: campaign failed: " << e.what() << "\n";
+        return 1;
+      }
+      return render_results(results);
+    }
+
+    std::optional<Json> resume_doc;
+    if (!resume_file.empty()) {
+      resume_doc = read_json_file(resume_file, "rumor_bench", err);
+      if (!resume_doc) return 2;
+      // A resume adopts the checkpoint's own block size and shard
+      // assignment unless the flags are repeated explicitly (in which case
+      // the loader validates that they match the snapshot).
+      if (!batch_explicit) {
+        if (const Json* v = resume_doc->find("block_size"); v != nullptr && v->is_number()) {
+          campaign_options.block_size = static_cast<std::uint64_t>(v->as_number());
+        }
+      }
+      if (!shard_explicit) {
+        if (const Json* v = resume_doc->find("shard_index"); v != nullptr && v->is_number()) {
+          campaign_options.shard_index = static_cast<std::uint32_t>(v->as_number());
+        }
+        if (const Json* v = resume_doc->find("shard_count"); v != nullptr && v->is_number()) {
+          campaign_options.shard_count = static_cast<std::uint32_t>(v->as_number());
+        }
+      }
+    }
+
+    CampaignOutcome outcome;
     try {
-      results = run_campaign(spec.configs, campaign_options);
+      outcome = run_campaign_resumable(spec->configs, campaign_options, spec->name,
+                                       resume_doc ? &*resume_doc : nullptr);
     } catch (const std::exception& e) {
       err << "rumor_bench: campaign failed: " << e.what() << "\n";
       return 1;
     }
-    Json reports = Json::array();
-    for (const CampaignResult& r : results) {
-      Json report = campaign_report(r, spec.name);
-      if (json) {
-        reports.push_back(std::move(report));
-      } else {
-        print_human(report, sink);
-      }
+    if (!outcome.complete) {
+      err << "rumor_bench: campaign stopped after " << outcome.blocks_done
+          << " blocks; progress saved to " << checkpoint_file << " (continue with --resume "
+          << checkpoint_file << ")\n";
+      return 3;
     }
-    if (json) {
-      if (reports.size() == 1) {
-        sink << reports.elements().front().dump(2) << "\n";
-      } else {
-        sink << reports.dump(2) << "\n";
-      }
+    if (campaign_options.shard_count > 1 || shard_explicit) {
+      // A shard emits its partial snapshot, not a report; campaign_merge
+      // (or rumor_bench --merge) folds the partials into the final report.
+      sink << outcome.snapshot.dump(2) << "\n";
+      return finish();
     }
-    return finish();
+    return render_results(outcome.results);
   }
 
   std::vector<const ExperimentInfo*> selected;

@@ -194,6 +194,16 @@ struct ExperimentRegistrar {
 /// { "experiment": name, "params": {...}, "rows": [...], ... }.
 [[nodiscard]] Json run_experiment(const ExperimentInfo& info, const ExperimentOptions& opts);
 
+/// Durably writes `contents` to `path`: a sibling temp file in the
+/// destination's directory is written, flushed, fsync'd, atomically renamed
+/// over `path`, and the parent directory is fsync'd so the rename itself
+/// survives a crash. The temp file is unlinked on every error path. On
+/// failure returns false with a description in `error` (no stream prefix —
+/// callers add their program name). Used for --out reports and for campaign
+/// checkpoints, where a torn or vanished file would silently lose progress.
+[[nodiscard]] bool write_file_atomic(const std::string& path, const std::string& contents,
+                                     std::string& error);
+
 /// The rumor_bench command line:
 ///   rumor_bench --list [--json]
 ///   rumor_bench [--json] [--out FILE] [--trials N] [--seed S] [--threads T]

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "rng/rng.hpp"
 
@@ -56,6 +57,14 @@ void QuantileSketch::compact(std::size_t level) {
 }
 
 void QuantileSketch::merge(const QuantileSketch& other) {
+  // Empty operands must be exact identities: without the early-outs a merge
+  // with an empty sketch could still grow levels_ (a bit-state change that
+  // a checkpoint would faithfully — and wrongly — persist).
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
   count_ += other.count_;
   for (std::size_t level = 0; level < other.levels_.size(); ++level) {
     auto& mine = level_at(level);
@@ -76,7 +85,7 @@ std::size_t QuantileSketch::stored() const noexcept {
 }
 
 double QuantileSketch::quantile(double q) const {
-  assert(count_ > 0);
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   std::vector<std::pair<double, std::uint64_t>> weighted;  // (value, weight)
   weighted.reserve(stored());
   for (std::size_t level = 0; level < levels_.size(); ++level) {
@@ -100,6 +109,21 @@ double QuantileSketch::quantile(double q) const {
     if (cumulative >= target) return value;
   }
   return weighted.back().first;
+}
+
+QuantileSketch::State QuantileSketch::state() const {
+  State s;
+  s.count = count_;
+  s.levels.reserve(levels_.size());
+  for (const Level& lvl : levels_) s.levels.push_back(LevelState{lvl.items, lvl.keep_odd});
+  return s;
+}
+
+void QuantileSketch::restore(const State& s) {
+  count_ = s.count;
+  levels_.clear();
+  levels_.reserve(s.levels.size());
+  for (const LevelState& lvl : s.levels) levels_.push_back(Level{lvl.items, lvl.keep_odd});
 }
 
 // --- ReservoirSample ---------------------------------------------------------
@@ -150,12 +174,33 @@ void ReservoirSample::insert(const Entry& e) {
 }
 
 void ReservoirSample::merge(const ReservoirSample& other) {
+  // Exact-identity early-outs: an empty operand must not shrink this
+  // reservoir's capacity, and merging into an empty reservoir adopts the
+  // other verbatim (checkpoint/shard merges rely on both).
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
   count_ += other.count_;
   if (other.capacity_ < capacity_) {
     capacity_ = other.capacity_;
     shrink_to_capacity();
   }
   for (const Entry& e : other.entries_) insert(e);
+}
+
+ReservoirSample::State ReservoirSample::state() const {
+  State s;
+  s.count = count_;
+  s.entries = entries();  // tag-sorted: the canonical, layout-free form
+  return s;
+}
+
+void ReservoirSample::restore(const State& s) {
+  entries_.clear();
+  for (const auto& [tag, value] : s.entries) insert(Entry{priority_of(salt_, tag), tag, value});
+  count_ = s.count;
 }
 
 void ReservoirSample::shrink_to_capacity() {
@@ -200,6 +245,14 @@ void StreamingSummary::merge(const StreamingSummary& other) {
   moments_.merge(other.moments_);
   sketch_.merge(other.sketch_);
   reservoir_.merge(other.reservoir_);
+}
+
+StreamingSummary StreamingSummary::restored(const Options& options, const State& s) {
+  StreamingSummary out(options);
+  out.moments_.restore(s.moments);
+  out.sketch_.restore(s.sketch);
+  out.reservoir_.restore(s.reservoir);
+  return out;
 }
 
 BootstrapInterval StreamingSummary::mean_ci(double confidence, std::size_t resamples,

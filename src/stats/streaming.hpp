@@ -48,6 +48,10 @@ class QuantileSketch {
   explicit QuantileSketch(std::size_t capacity_per_level = 256);
 
   void add(double x);
+  /// Concatenates level-wise and re-compacts. Merging an *empty* sketch is
+  /// an exact identity (no level-vector growth, no state change); merging
+  /// *into* an empty sketch copies the other verbatim (adopting its
+  /// capacity) — both are required for checkpoint/shard bit-determinism.
   void merge(const QuantileSketch& other);
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
@@ -55,11 +59,32 @@ class QuantileSketch {
   [[nodiscard]] std::size_t stored() const noexcept;
 
   /// Approximate type-1 quantile: the smallest retained value whose
-  /// cumulative weight reaches ceil(q * count). Precondition: count() > 0.
+  /// cumulative weight reaches ceil(q * count). An empty sketch (count()
+  /// == 0) has no quantiles and returns NaN — the documented empty-state
+  /// contract (shards may own zero blocks of a configuration).
   [[nodiscard]] double quantile(double q) const;
 
   /// The paper's T_q = quantile(1 - q) (cf. SpreadingTimeSample::hp_time).
+  /// NaN when empty, like quantile().
   [[nodiscard]] double hp_time(double q) const { return quantile(1.0 - q); }
+
+  /// Exact serializable state (campaign checkpoints). Level-0 item *order*
+  /// and the per-level keep_odd selectors are part of the state: both feed
+  /// future compactions, so dropping either would break the bit-identity of
+  /// a resumed campaign.
+  struct LevelState {
+    std::vector<double> items;
+    bool keep_odd = false;
+  };
+  struct State {
+    std::uint64_t count = 0;
+    std::vector<LevelState> levels;
+  };
+
+  [[nodiscard]] State state() const;
+  /// Restores a snapshot taken with state(); bit-exact. Keeps the sketch's
+  /// own capacity (the checkpoint layer validates capacities match).
+  void restore(const State& s);
 
  private:
   struct Level {
@@ -90,7 +115,26 @@ class ReservoirSample {
   explicit ReservoirSample(std::size_t capacity, std::uint64_t salt = 0);
 
   void add(double value, std::uint64_t tag);
+  /// Keeps the bottom-k of the union. Merging an *empty* reservoir is an
+  /// exact identity — in particular an empty operand's capacity does not
+  /// shrink this reservoir — and merging *into* an empty reservoir copies
+  /// the other verbatim (capacity and salt included).
   void merge(const ReservoirSample& other);
+
+  /// Exact serializable state: the retained (tag, value) pairs in tag order
+  /// (the canonical form — priorities are recomputed from the salt on
+  /// restore) plus the total insertion count, which restore() cannot infer
+  /// once the stream exceeded capacity.
+  struct State {
+    std::uint64_t count = 0;
+    std::vector<std::pair<std::uint64_t, double>> entries;
+  };
+
+  [[nodiscard]] State state() const;
+  /// Restores a snapshot taken with state(). The retained *set* is
+  /// bit-exact; every observable output (values()/entries()/merges) is
+  /// unchanged. Keeps this reservoir's capacity and salt.
+  void restore(const State& s);
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
@@ -140,6 +184,20 @@ class StreamingSummary {
 
   void add(double value, std::uint64_t tag);
   void merge(const StreamingSummary& other);
+
+  /// Exact serializable state of all three accumulators (campaign
+  /// checkpoints). restored() rebuilds a bit-identical summary given the
+  /// same Options the original was constructed with.
+  struct State {
+    RunningMoments::State moments;
+    QuantileSketch::State sketch;
+    ReservoirSample::State reservoir;
+  };
+
+  [[nodiscard]] State state() const {
+    return State{moments_.state(), sketch_.state(), reservoir_.state()};
+  }
+  [[nodiscard]] static StreamingSummary restored(const Options& options, const State& s);
 
   [[nodiscard]] const RunningMoments& moments() const noexcept { return moments_; }
   [[nodiscard]] const QuantileSketch& sketch() const noexcept { return sketch_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "rng/rng.hpp"
 
@@ -70,7 +71,12 @@ namespace {
 template <class Statistic>
 BootstrapInterval bootstrap_ci(std::span<const double> samples, double confidence,
                                std::size_t resamples, std::uint64_t seed, Statistic stat) {
-  assert(!samples.empty());
+  if (samples.empty()) {
+    // No samples -> no defined statistic. NaN (not 0) so downstream
+    // consumers cannot mistake the empty state for a measured value.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    return BootstrapInterval{nan, nan, nan};
+  }
   assert(confidence > 0.0 && confidence < 1.0);
   rng::Engine eng = rng::derive_stream(seed, 0xb007ULL);
   std::vector<double> resample(samples.size());

@@ -20,6 +20,29 @@ namespace rumor::stats {
 /// naive form cancels catastrophically.
 class RunningMoments {
  public:
+  /// Exact serializable state (campaign checkpoints). `m2` is the raw sum
+  /// of squared deviations — stored directly rather than recomputed from
+  /// variance(), because the round-trip through variance would not be
+  /// bit-exact.
+  struct State {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  [[nodiscard]] State state() const noexcept { return {count_, mean_, m2_, min_, max_}; }
+
+  /// Restores a snapshot taken with state(); bit-exact.
+  void restore(const State& s) noexcept {
+    count_ = s.count;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
   void add(double x) noexcept {
     ++count_;
     const double delta = x - mean_;
@@ -73,7 +96,10 @@ class RunningMoments {
 [[nodiscard]] double spreading_time_quantile(std::span<const double> samples, double q);
 
 /// Percentile-bootstrap confidence interval for a statistic of the sample
-/// mean. Re-samples `samples` with replacement `resamples` times.
+/// mean. Re-samples `samples` with replacement `resamples` times. An empty
+/// sample has no defined mean: all three fields are NaN (the documented
+/// empty-state contract, reachable for e.g. a campaign shard that owns zero
+/// blocks of a configuration).
 struct BootstrapInterval {
   double lower = 0.0;
   double point = 0.0;

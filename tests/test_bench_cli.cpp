@@ -5,6 +5,8 @@
 // Also unit-tests the sim::Json document type the reports are built from.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -20,10 +22,16 @@ namespace {
 #ifndef RUMOR_BENCH_BINARY
 #error "RUMOR_BENCH_BINARY must point at the rumor_bench executable"
 #endif
+#ifndef RUMOR_MERGE_BINARY
+#error "RUMOR_MERGE_BINARY must point at the campaign_merge executable"
+#endif
 
-/// Runs a rumor_bench command line and captures its stdout.
-std::string run_bench(const std::string& args, int* exit_code = nullptr) {
-  const std::string cmd = std::string(RUMOR_BENCH_BINARY) + " " + args;
+/// Runs a command line and captures its stdout. `exit_code` receives the
+/// program's actual exit status (pclose's raw wait status decoded), so
+/// tests can assert the documented codes 0/1/2/3.
+std::string run_tool(const std::string& binary, const std::string& args,
+                     int* exit_code = nullptr) {
+  const std::string cmd = binary + " " + args;
   FILE* pipe = popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr) << "failed to launch " << cmd;
   if (pipe == nullptr) return {};
@@ -32,8 +40,14 @@ std::string run_bench(const std::string& args, int* exit_code = nullptr) {
   std::size_t got = 0;
   while ((got = fread(buf, 1, sizeof buf, pipe)) > 0) out.append(buf, got);
   const int status = pclose(pipe);
-  if (exit_code != nullptr) *exit_code = status;
+  if (exit_code != nullptr) {
+    *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
   return out;
+}
+
+std::string run_bench(const std::string& args, int* exit_code = nullptr) {
+  return run_tool(RUMOR_BENCH_BINARY, args, exit_code);
 }
 
 }  // namespace
@@ -359,5 +373,158 @@ TEST(BenchCli, CampaignConflictsWithExperimentSelection) {
   int status = 0;
   run_bench("--campaign " + spec + " e3_star 2>/dev/null", &status);
   EXPECT_NE(status, 0);
+  std::remove(spec.c_str());
+}
+
+// --- Checkpoints, shards, and merge ------------------------------------------
+
+namespace {
+
+/// One campaign exercising all three block kinds (plain trials across two
+/// engines, a dynamics cell, and a worst-source race), small enough that a
+/// full run takes well under a second. --batch 4 at 12 trials gives every
+/// plain config three blocks, so --stop-after-blocks interrupts mid-config.
+std::string write_checkpoint_spec(const std::string& name) {
+  return write_spec(name, R"({
+    "name": "cksuite",
+    "defaults": {"trials": 12, "seed": 7},
+    "configs": [
+      {"graph": "star", "n": [32, 48], "engine": ["sync", "async"]},
+      {"graph": "hypercube", "n": 64,
+       "dynamics": {"churn": "markov", "birth": 0.2, "death": 0.2}},
+      {"graph": "star", "n": 40, "source": "race", "trials": 8, "seed": 3,
+       "screen_trials": 4, "finalists": 2, "max_candidates": 6}
+    ]})");
+}
+
+void expect_no_temp_litter(const std::string& stem) {
+  for (const auto& entry : std::filesystem::directory_iterator(testing::TempDir())) {
+    EXPECT_EQ(entry.path().filename().string().rfind(stem + ".tmp", 0), std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+}
+
+}  // namespace
+
+TEST(BenchCliCheckpoint, KillAndResumeMatchesStraightRunByteForByte) {
+  const std::string spec = write_checkpoint_spec("bench_cli_ck_spec.json");
+  const std::string plain_out = testing::TempDir() + "bench_cli_ck_plain.json";
+  const std::string resumed_out = testing::TempDir() + "bench_cli_ck_resumed.json";
+  const std::string ck = testing::TempDir() + "bench_cli_ck_state.json";
+  for (const auto& p : {plain_out, resumed_out, ck}) std::remove(p.c_str());
+
+  int status = 0;
+  run_bench("--campaign " + spec + " --json --threads 2 --batch 4 --out " + plain_out, &status);
+  ASSERT_EQ(status, 0);
+
+  // First leg: stop after 3 blocks. Exit 3 (not an error, not success), a
+  // pointer to the checkpoint on stderr, and no report written.
+  const std::string stopped = run_bench("--campaign " + spec +
+                                            " --json --threads 2 --batch 4 --checkpoint " + ck +
+                                            " --stop-after-blocks 3 --out " + resumed_out +
+                                            " 2>&1",
+                                        &status);
+  ASSERT_EQ(status, 3) << stopped;
+  EXPECT_NE(stopped.find("progress saved to"), std::string::npos) << stopped;
+  EXPECT_NE(stopped.find("--resume"), std::string::npos) << stopped;
+  ASSERT_TRUE(std::filesystem::exists(ck));
+  EXPECT_FALSE(std::filesystem::exists(resumed_out)) << "a stopped run must not emit a report";
+
+  // Keep killing and resuming, varying the thread count, until one leg
+  // finishes. The final report must be byte-identical to the straight run.
+  bool finished = false;
+  for (int leg = 0; leg < 60 && !finished; ++leg) {
+    const std::string threads = (leg % 2 == 0) ? "1" : "2";
+    run_bench("--campaign " + spec + " --json --threads " + threads + " --resume " + ck +
+                  " --checkpoint " + ck + " --stop-after-blocks 3 --out " + resumed_out +
+                  " 2>/dev/null",
+              &status);
+    ASSERT_TRUE(status == 0 || status == 3) << "leg " << leg << " exited " << status;
+    finished = status == 0;
+  }
+  ASSERT_TRUE(finished) << "campaign did not finish within the resume budget";
+  EXPECT_EQ(read_file(resumed_out), read_file(plain_out))
+      << "kill/resume must be bit-identical to the uninterrupted run";
+  expect_no_temp_litter("bench_cli_ck_state.json");
+
+  for (const auto& p : {spec, plain_out, resumed_out, ck}) std::remove(p.c_str());
+}
+
+TEST(BenchCliCheckpoint, ShardsThenMergeMatchesStraightRunByteForByte) {
+  const std::string spec = write_checkpoint_spec("bench_cli_shard_spec.json");
+  const std::string plain_out = testing::TempDir() + "bench_cli_shard_plain.json";
+  const std::string s1 = testing::TempDir() + "bench_cli_shard1.json";
+  const std::string s2 = testing::TempDir() + "bench_cli_shard2.json";
+  const std::string merged_bench = testing::TempDir() + "bench_cli_shard_mb.json";
+  const std::string merged_tool = testing::TempDir() + "bench_cli_shard_mt.json";
+
+  int status = 0;
+  run_bench("--campaign " + spec + " --json --threads 2 --batch 4 --out " + plain_out, &status);
+  ASSERT_EQ(status, 0);
+
+  // Each shard run emits a finished partial snapshot, not a report.
+  run_bench("--campaign " + spec + " --json --threads 2 --batch 4 --shard 1/2 --out " + s1,
+            &status);
+  ASSERT_EQ(status, 0);
+  run_bench("--campaign " + spec + " --json --threads 1 --batch 4 --shard 2/2 --out " + s2,
+            &status);
+  ASSERT_EQ(status, 0);
+  const auto snap = sim::Json::parse(read_file(s1));
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->find("format")->as_string(), "rumor-campaign-checkpoint");
+
+  // Both merge front ends agree with the unsharded run, byte for byte.
+  run_bench("--campaign " + spec + " --json --merge " + s1 + " " + s2 + " --out " + merged_bench,
+            &status);
+  ASSERT_EQ(status, 0);
+  EXPECT_EQ(read_file(merged_bench), read_file(plain_out))
+      << "rumor_bench --merge must be bit-identical to the unsharded run";
+
+  run_tool(RUMOR_MERGE_BINARY,
+           "--campaign " + spec + " --out " + merged_tool + " " + s1 + " " + s2, &status);
+  ASSERT_EQ(status, 0);
+  EXPECT_EQ(read_file(merged_tool), read_file(plain_out))
+      << "campaign_merge must be bit-identical to the unsharded run";
+
+  // A merge with a shard missing is a validation failure (exit 1).
+  run_tool(RUMOR_MERGE_BINARY, "--campaign " + spec + " " + s1 + " 2>/dev/null", &status);
+  EXPECT_EQ(status, 1);
+
+  for (const auto& p : {spec, plain_out, s1, s2, merged_bench, merged_tool}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(BenchCliCheckpoint, FeatureFlagMisuseIsBadInput) {
+  const std::string spec = write_checkpoint_spec("bench_cli_ck_misuse.json");
+  int status = 0;
+
+  // Checkpoint/shard/resume flags make no sense without --campaign.
+  run_bench("e3_star --shard 1/2 2>/dev/null", &status);
+  EXPECT_EQ(status, 2);
+  run_bench("e3_star --checkpoint ck.json 2>/dev/null", &status);
+  EXPECT_EQ(status, 2);
+
+  // Malformed or out-of-range shard designators.
+  for (const char* shard : {"3/2", "0/2", "2", "1/0", "a/b", "-1/2"}) {
+    run_bench("--campaign " + spec + " --shard " + shard + " 2>/dev/null", &status);
+    EXPECT_EQ(status, 2) << "--shard " << shard;
+  }
+
+  // A stop budget without a checkpoint file would discard the progress.
+  run_bench("--campaign " + spec + " --stop-after-blocks 2 2>/dev/null", &status);
+  EXPECT_EQ(status, 2);
+
+  // --merge folds existing snapshots; running shards in the same invocation
+  // is contradictory, and merging nothing is vacuous.
+  run_bench("--campaign " + spec + " --merge --shard 1/2 x.json 2>/dev/null", &status);
+  EXPECT_EQ(status, 2);
+  run_bench("--campaign " + spec + " --merge 2>/dev/null", &status);
+  EXPECT_EQ(status, 2);
+
+  // A missing resume file is bad input, never a silent fresh start.
+  run_bench("--campaign " + spec + " --resume /no/such/ck.json 2>/dev/null", &status);
+  EXPECT_EQ(status, 2);
+
   std::remove(spec.c_str());
 }

@@ -284,8 +284,8 @@ TEST(CampaignSpecParsing, ExplicitViewOverridesDefaultsView) {
   const auto spec = parse(R"({
     "defaults": {"view": "per-node", "engine": "async"},
     "configs": [
-      {"graph": "star", "n": 32, "view": "global-clock"},
-      {"graph": "star", "n": 32}
+      {"id": "global", "graph": "star", "n": 32, "view": "global-clock"},
+      {"id": "per-node", "graph": "star", "n": 32}
     ]})");
   ASSERT_TRUE(spec.error.empty()) << spec.error;
   ASSERT_EQ(spec.configs.size(), 2u);
@@ -293,14 +293,34 @@ TEST(CampaignSpecParsing, ExplicitViewOverridesDefaultsView) {
   EXPECT_EQ(spec.configs[1].view, core::AsyncView::kPerNodeClocks);
 }
 
-TEST(CampaignSpecParsing, DuplicateIdsAreDisambiguated) {
+TEST(CampaignSpecParsing, DuplicateIdsAreRejectedNamingBothCells) {
+  // Checkpoints, shards, and merge address configurations by id, so a
+  // collision (auto-derived here: same graph/engine/mode, differing only in
+  // seed) must be rejected rather than silently suffixed.
   const auto spec = parse(R"({"configs": [
       {"graph": "star", "n": 64},
       {"graph": "star", "n": 64, "seed": 9}
     ]})");
-  ASSERT_TRUE(spec.error.empty()) << spec.error;
-  ASSERT_EQ(spec.configs.size(), 2u);
-  EXPECT_NE(spec.configs[0].id, spec.configs[1].id);
+  ASSERT_FALSE(spec.error.empty());
+  EXPECT_NE(spec.error.find("configs[1]"), std::string::npos) << spec.error;
+  EXPECT_NE(spec.error.find("configs[0]"), std::string::npos) << spec.error;
+  EXPECT_NE(spec.error.find("star_n64_sync_push-pull"), std::string::npos) << spec.error;
+
+  // Explicit duplicate ids are rejected the same way.
+  const auto explicit_dup = parse(R"({"configs": [
+      {"id": "cell", "graph": "star", "n": 64},
+      {"id": "cell", "graph": "cycle", "n": 32}
+    ]})");
+  ASSERT_FALSE(explicit_dup.error.empty());
+  EXPECT_NE(explicit_dup.error.find("'cell'"), std::string::npos) << explicit_dup.error;
+
+  // Distinct explicit ids resolve the collision.
+  const auto fixed = parse(R"({"configs": [
+      {"id": "a", "graph": "star", "n": 64},
+      {"id": "b", "graph": "star", "n": 64, "seed": 9}
+    ]})");
+  ASSERT_TRUE(fixed.error.empty()) << fixed.error;
+  ASSERT_EQ(fixed.configs.size(), 2u);
 }
 
 TEST(CampaignSpecParsing, RejectsMalformedSpecs) {

@@ -1,0 +1,429 @@
+// Checkpoint / shard / merge tests for sim/checkpoint.hpp: the snapshot
+// layer must extend the campaign determinism contract across interruptions
+// (a resumed run is bit-identical to an unbroken one at any thread count),
+// partition blocks across shards deterministically, and fold shard
+// snapshots back into reports bit-identical to the unsharded run — while
+// rejecting every identity mismatch loudly instead of merging garbage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "sim/campaign.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/experiment.hpp"
+
+using namespace rumor;
+
+namespace {
+
+std::shared_ptr<const graph::Graph> shared(graph::Graph g) {
+  return std::make_shared<const graph::Graph>(std::move(g));
+}
+
+/// A compact campaign exercising every block kind the snapshot layer
+/// handles: two plain cells, a worst-source race, and a churn cell.
+std::vector<sim::CampaignConfig> snapshot_configs() {
+  static const auto kHypercube = shared(graph::hypercube(6));
+  static const auto kStar = shared(graph::star(96));
+  std::vector<sim::CampaignConfig> configs;
+
+  sim::CampaignConfig plain;
+  plain.id = "plain_hc";
+  plain.prebuilt = kHypercube;
+  plain.trials = 24;
+  plain.seed = 501;
+  configs.push_back(plain);
+
+  sim::CampaignConfig async_cfg;
+  async_cfg.id = "plain_star_async";
+  async_cfg.prebuilt = kStar;
+  async_cfg.engine = sim::EngineKind::kAsync;
+  async_cfg.trials = 24;
+  async_cfg.seed = 502;
+  configs.push_back(async_cfg);
+
+  sim::CampaignConfig race;
+  race.id = "race_star";
+  race.prebuilt = kStar;
+  race.source_policy = sim::SourcePolicy::kRace;
+  race.race.screen_trials = 6;
+  race.race.finalists = 2;
+  race.race.max_candidates = 6;
+  race.trials = 16;
+  race.seed = 503;
+  configs.push_back(race);
+
+  sim::CampaignConfig churn;
+  churn.id = "churn_hc";
+  churn.prebuilt = kHypercube;
+  churn.dynamics.churn.model = dynamics::ChurnModel::kMarkov;
+  churn.dynamics.churn.birth = 0.1;
+  churn.dynamics.churn.death = 0.1;
+  churn.trials = 16;
+  churn.seed = 504;
+  configs.push_back(churn);
+
+  return configs;
+}
+
+sim::CampaignOptions snapshot_options(unsigned threads) {
+  sim::CampaignOptions options;
+  options.threads = threads;
+  options.block_size = 8;
+  return options;
+}
+
+/// All reported statistics of one result, for exact cross-run comparison.
+std::vector<double> result_stats(const sim::CampaignResult& r) {
+  const auto& s = r.summary;
+  std::vector<double> out = {static_cast<double>(s.count()),
+                             s.mean(),
+                             s.stddev(),
+                             s.min(),
+                             s.max(),
+                             s.median(),
+                             s.quantile(0.95),
+                             s.hp_time(r.hp_q)};
+  for (const auto& [tag, value] : s.reservoir().entries()) {
+    out.push_back(static_cast<double>(tag));
+    out.push_back(value);
+  }
+  return out;
+}
+
+void expect_bitwise_equal(const std::vector<sim::CampaignResult>& got,
+                          const std::vector<sim::CampaignResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id);
+    EXPECT_EQ(got[i].graph_name, want[i].graph_name) << got[i].id;
+    EXPECT_EQ(got[i].n, want[i].n) << got[i].id;
+    EXPECT_EQ(got[i].trials, want[i].trials) << got[i].id;
+    EXPECT_EQ(got[i].source, want[i].source) << got[i].id;
+    EXPECT_EQ(got[i].best_source, want[i].best_source) << got[i].id;
+    EXPECT_EQ(got[i].best_mean, want[i].best_mean) << got[i].id;
+    EXPECT_EQ(result_stats(got[i]), result_stats(want[i])) << got[i].id;
+  }
+}
+
+/// Expects `fn` to throw std::runtime_error whose message contains `needle`.
+template <typename Fn>
+void expect_throws_with(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected a runtime_error mentioning '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+
+// --- The shard partition rule ------------------------------------------------
+
+TEST(CampaignCheckpoint, ShardRuleIsDeterministicAndCoversEveryShard) {
+  // Pure function of its arguments.
+  for (std::size_t slot = 0; slot < 16; ++slot) {
+    EXPECT_EQ(sim::shard_of_block("cfg_a", slot, false, 4),
+              sim::shard_of_block("cfg_a", slot, false, 4));
+  }
+  // whole_config ignores the slot: every block of a race stays together.
+  for (std::size_t slot = 1; slot < 16; ++slot) {
+    EXPECT_EQ(sim::shard_of_block("cfg_a", slot, true, 4),
+              sim::shard_of_block("cfg_a", 0, true, 4));
+  }
+  // k = 1 owns everything.
+  for (std::size_t slot = 0; slot < 16; ++slot) {
+    EXPECT_EQ(sim::shard_of_block("cfg_a", slot, false, 1), 0u);
+  }
+  // Over many (config, slot) pairs every shard gets work and results stay
+  // in range — the partition neither clumps onto one shard nor escapes k.
+  std::set<std::uint32_t> seen;
+  for (int cfg = 0; cfg < 8; ++cfg) {
+    for (std::size_t slot = 0; slot < 32; ++slot) {
+      const std::uint32_t s = sim::shard_of_block("cfg" + std::to_string(cfg), slot, false, 4);
+      ASSERT_LT(s, 4u);
+      seen.insert(s);
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(CampaignCheckpoint, FingerprintReflectsEveryResultAffectingParameter) {
+  const auto base = snapshot_configs();
+  const std::string h = sim::campaign_fingerprint("snap", base);
+  EXPECT_EQ(h.size(), 16u);
+  EXPECT_EQ(h, sim::campaign_fingerprint("snap", snapshot_configs()));
+  EXPECT_NE(h, sim::campaign_fingerprint("other-name", base));
+
+  auto seed = base;
+  seed[0].seed += 1;
+  EXPECT_NE(h, sim::campaign_fingerprint("snap", seed));
+  auto trials = base;
+  trials[1].trials += 8;
+  EXPECT_NE(h, sim::campaign_fingerprint("snap", trials));
+  auto race = base;
+  race[2].race.finalists += 1;
+  EXPECT_NE(h, sim::campaign_fingerprint("snap", race));
+  auto dyn = base;
+  dyn[3].dynamics.churn.death = 0.2;
+  EXPECT_NE(h, sim::campaign_fingerprint("snap", dyn));
+}
+
+// --- Stop / resume bit-identity ----------------------------------------------
+
+TEST(CampaignCheckpoint, StopAndResumeIsBitIdenticalAcrossThreadCounts) {
+  const auto configs = snapshot_configs();
+  const auto baseline = sim::run_campaign(configs, snapshot_options(1));
+
+  // An unbroken resumable run already matches the plain scheduler.
+  const auto unbroken = sim::run_campaign_resumable(configs, snapshot_options(2), "snap");
+  ASSERT_TRUE(unbroken.complete);
+  expect_bitwise_equal(unbroken.results, baseline);
+
+  for (const std::uint64_t stop_after : {std::uint64_t{1}, std::uint64_t{4}, std::uint64_t{9}}) {
+    auto options = snapshot_options(2);
+    options.stop_after_blocks = stop_after;
+    const auto stopped = sim::run_campaign_resumable(configs, options, "snap");
+    ASSERT_FALSE(stopped.complete);
+    EXPECT_GE(stopped.blocks_done, stop_after);
+    ASSERT_TRUE(stopped.snapshot.is_object());
+
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      const auto resumed = sim::run_campaign_resumable(configs, snapshot_options(threads), "snap",
+                                                       &stopped.snapshot);
+      ASSERT_TRUE(resumed.complete) << "stop_after=" << stop_after << " threads=" << threads;
+      expect_bitwise_equal(resumed.results, baseline);
+    }
+  }
+}
+
+TEST(CampaignCheckpoint, ResumingAFinishedSnapshotRestoresResultsVerbatim) {
+  const auto configs = snapshot_configs();
+  const auto done = sim::run_campaign_resumable(configs, snapshot_options(2), "snap");
+  ASSERT_TRUE(done.complete);
+  const auto resumed =
+      sim::run_campaign_resumable(configs, snapshot_options(4), "snap", &done.snapshot);
+  ASSERT_TRUE(resumed.complete);
+  expect_bitwise_equal(resumed.results, done.results);
+}
+
+TEST(CampaignCheckpoint, CheckpointFileRoundTripsThroughDisk) {
+  const auto configs = snapshot_configs();
+  const std::string path = testing::TempDir() + "campaign_ck_roundtrip.json";
+  std::remove(path.c_str());
+
+  auto options = snapshot_options(2);
+  options.checkpoint_file = path;
+  options.checkpoint_every = 2;
+  options.stop_after_blocks = 5;
+  const auto stopped = sim::run_campaign_resumable(configs, options, "snap");
+  ASSERT_FALSE(stopped.complete);
+
+  std::ifstream file(path, std::ios::binary);
+  ASSERT_TRUE(file.good()) << "checkpoint file missing: " << path;
+  std::string text((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  const auto doc = sim::Json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("format")->as_string(), sim::kSnapshotFormat);
+  EXPECT_EQ(doc->find("finished")->type(), sim::Json::Type::kBool);
+  EXPECT_FALSE(doc->find("finished")->as_bool());
+
+  // No temp litter from the atomic writes.
+  const std::string base = std::filesystem::path(path).filename().string();
+  for (const auto& entry : std::filesystem::directory_iterator(testing::TempDir())) {
+    EXPECT_NE(entry.path().filename().string().rfind(base + ".tmp", 0), 0u)
+        << "leftover temp file: " << entry.path();
+  }
+
+  const auto resumed = sim::run_campaign_resumable(configs, snapshot_options(2), "snap", &*doc);
+  ASSERT_TRUE(resumed.complete);
+  expect_bitwise_equal(resumed.results, sim::run_campaign(configs, snapshot_options(1)));
+  std::remove(path.c_str());
+}
+
+// --- Resume validation -------------------------------------------------------
+
+TEST(CampaignCheckpoint, ResumeRejectsEveryIdentityMismatch) {
+  const auto configs = snapshot_configs();
+  auto options = snapshot_options(2);
+  options.stop_after_blocks = 3;
+  const auto stopped = sim::run_campaign_resumable(configs, options, "snap");
+  ASSERT_FALSE(stopped.complete);
+  const sim::Json& snap = stopped.snapshot;
+
+  auto resume_with = [&](const sim::Json& doc) {
+    return [&configs, doc] {
+      (void)sim::run_campaign_resumable(configs, snapshot_options(1), "snap", &doc);
+    };
+  };
+
+  sim::Json wrong_name = snap;
+  wrong_name.set("campaign", "other");
+  expect_throws_with(resume_with(wrong_name), "campaign");
+
+  sim::Json wrong_hash = snap;
+  wrong_hash.set("spec_hash", "0000000000000000");
+  expect_throws_with(resume_with(wrong_hash), "spec hash");
+
+  sim::Json wrong_block = snap;
+  wrong_block.set("block_size", 16);
+  expect_throws_with(resume_with(wrong_block), "block size");
+
+  sim::Json wrong_shard = snap;
+  wrong_shard.set("shard_index", 2);
+  wrong_shard.set("shard_count", 2);
+  expect_throws_with(resume_with(wrong_shard), "shard");
+
+  sim::Json wrong_version = snap;
+  wrong_version.set("version", sim::kSnapshotVersion + 1);
+  expect_throws_with(resume_with(wrong_version), "version");
+
+  sim::Json wrong_format = snap;
+  wrong_format.set("format", "something-else");
+  expect_throws_with(resume_with(wrong_format), "format");
+
+  // A changed spec (different seed) under an unmodified snapshot must be
+  // caught by the fingerprint even though the shape still matches.
+  auto reseeded = configs;
+  reseeded[0].seed += 1;
+  expect_throws_with(
+      [&] { (void)sim::run_campaign_resumable(reseeded, snapshot_options(1), "snap", &snap); },
+      "spec hash");
+}
+
+TEST(CampaignCheckpoint, RecordedCampaignsRejectDuplicateConfigIds) {
+  auto configs = snapshot_configs();
+  configs[1].id = configs[0].id;
+  expect_throws_with([&] { (void)sim::run_campaign_resumable(configs, snapshot_options(1), "snap"); },
+                     configs[0].id);
+  // The plain scheduler still accepts them: nothing addresses by id there.
+  EXPECT_NO_THROW((void)sim::run_campaign(configs, snapshot_options(2)));
+}
+
+// --- Sharding + merge --------------------------------------------------------
+
+TEST(CampaignShard, ShardsMergeBitIdenticalToUnshardedRunForSeveralK) {
+  const auto configs = snapshot_configs();
+  const auto baseline = sim::run_campaign(configs, snapshot_options(1));
+
+  for (const std::uint32_t k : {1u, 2u, 4u}) {
+    std::vector<sim::Json> snapshots;
+    for (std::uint32_t i = 1; i <= k; ++i) {
+      auto options = snapshot_options(2);
+      options.shard_index = i;
+      options.shard_count = k;
+      const auto outcome = sim::run_campaign_resumable(configs, options, "snap");
+      ASSERT_TRUE(outcome.complete);
+      snapshots.push_back(outcome.snapshot);
+    }
+    const auto merged = sim::merge_campaign_snapshots(configs, "snap", snapshots);
+    expect_bitwise_equal(merged, baseline);
+  }
+}
+
+TEST(CampaignShard, RaceConfigurationsAreOwnedWholesaleByOneShard) {
+  const auto configs = snapshot_configs();
+  std::vector<sim::Json> snapshots;
+  for (std::uint32_t i = 1; i <= 2; ++i) {
+    auto options = snapshot_options(2);
+    options.shard_index = i;
+    options.shard_count = 2;
+    const auto outcome = sim::run_campaign_resumable(configs, options, "snap");
+    ASSERT_TRUE(outcome.complete);
+    snapshots.push_back(outcome.snapshot);
+  }
+  int done_in = 0;
+  for (const sim::Json& snap : snapshots) {
+    for (const sim::Json& entry : snap.find("configs")->elements()) {
+      if (entry.find("id")->as_string() != "race_star") continue;
+      const std::string phase = entry.find("phase")->as_string();
+      if (phase == "done") ++done_in;
+      else EXPECT_EQ(phase, "pending");
+    }
+  }
+  EXPECT_EQ(done_in, 1);
+}
+
+TEST(CampaignShard, MergeRejectsBadShardSets) {
+  const auto configs = snapshot_configs();
+  std::vector<sim::Json> snapshots;
+  for (std::uint32_t i = 1; i <= 2; ++i) {
+    auto options = snapshot_options(2);
+    options.shard_index = i;
+    options.shard_count = 2;
+    const auto outcome = sim::run_campaign_resumable(configs, options, "snap");
+    ASSERT_TRUE(outcome.complete);
+    snapshots.push_back(outcome.snapshot);
+  }
+
+  // Missing shard.
+  expect_throws_with(
+      [&] { (void)sim::merge_campaign_snapshots(configs, "snap", {snapshots[0]}); }, "shard");
+  // Duplicate shard.
+  expect_throws_with(
+      [&] { (void)sim::merge_campaign_snapshots(configs, "snap", {snapshots[0], snapshots[0]}); },
+      "shard");
+  // Wrong campaign name.
+  expect_throws_with(
+      [&] { (void)sim::merge_campaign_snapshots(configs, "other", snapshots); }, "campaign");
+  // Tampered spec hash.
+  {
+    auto bad = snapshots;
+    bad[1].set("spec_hash", "0000000000000000");
+    expect_throws_with([&] { (void)sim::merge_campaign_snapshots(configs, "snap", bad); },
+                       "spec hash");
+  }
+  // Overlap: the same shard's work presented under both indices.
+  {
+    auto bad = snapshots;
+    bad[1] = snapshots[0];
+    bad[1].set("shard_index", 2);
+    expect_throws_with([&] { (void)sim::merge_campaign_snapshots(configs, "snap", bad); },
+                       "both shard");
+  }
+  // An unfinished shard must be refused outright.
+  {
+    auto options = snapshot_options(2);
+    options.shard_index = 1;
+    options.shard_count = 2;
+    options.stop_after_blocks = 1;
+    const auto stopped = sim::run_campaign_resumable(configs, options, "snap");
+    ASSERT_FALSE(stopped.complete);
+    expect_throws_with(
+        [&] {
+          (void)sim::merge_campaign_snapshots(configs, "snap", {stopped.snapshot, snapshots[1]});
+        },
+        "finished");
+  }
+}
+
+TEST(CampaignShard, ShardedRunsResumeToo) {
+  // A shard stopped mid-way and resumed must produce the same partial
+  // snapshot (hence the same merged report) as an unbroken shard run.
+  const auto configs = snapshot_configs();
+  auto options = snapshot_options(2);
+  options.shard_index = 1;
+  options.shard_count = 2;
+  const auto unbroken = sim::run_campaign_resumable(configs, options, "snap");
+  ASSERT_TRUE(unbroken.complete);
+
+  auto stop_options = options;
+  stop_options.stop_after_blocks = 2;
+  const auto stopped = sim::run_campaign_resumable(configs, stop_options, "snap");
+  ASSERT_FALSE(stopped.complete);
+  const auto resumed =
+      sim::run_campaign_resumable(configs, options, "snap", &stopped.snapshot);
+  ASSERT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.snapshot.dump(2), unbroken.snapshot.dump(2));
+}

@@ -505,8 +505,8 @@ TEST(DynamicsSpecParsing, DefaultsMergeKeyByKey) {
   const auto spec = parse(R"({
     "defaults": {"dynamics": {"churn": "markov", "birth": 0.05, "death": 0.05}},
     "configs": [
-      {"graph": "star", "n": 64},
-      {"graph": "star", "n": 64, "dynamics": {"death": 0.5}},
+      {"id": "inherit", "graph": "star", "n": 64},
+      {"id": "override", "graph": "star", "n": 64, "dynamics": {"death": 0.5}},
       {"graph": "star", "n": 64, "dynamics": {"churn": "none"}}
     ]})");
   ASSERT_TRUE(spec.error.empty()) << spec.error;

@@ -82,9 +82,34 @@ def main():
         check(code == 1, "--normalize catches it (exit 1)", out)
         check("REGRESSION" in out, "regression is flagged in the table", out)
 
-        # Normalizing by a primitive absent from a report is bad input (2).
+        # Normalizing by a primitive absent from a report is bad input (2),
+        # and the diagnostic names the offending file, not just "current".
         code, out = run(perf_diff, hidden, base, "--normalize", "no_such_primitive")
         check(code == 2, "unknown --normalize primitive exits 2", out)
+        check("hidden.json" in out, "normalize diagnostic names the report file", out)
+        check("no_such_primitive" in out, "normalize diagnostic names the primitive", out)
+
+        # A baseline primitive timed at 0 ns is corrupt input, not an
+        # infinite regression: exit 2 naming path and primitive (this used
+        # to exit 1 with an inf-ratio REGRESSION row).
+        zero_ns = write(tmp, "zero_ns.json", [e9_report({"rng_next": 2.0, "engine": 0.0})])
+        code, out = run(perf_diff, hidden, zero_ns)
+        check(code == 2, "baseline ns_per_op == 0 exits 2, not 1", out)
+        check("zero_ns.json" in out and "engine" in out,
+              "zero-ns diagnostic names the file and primitive", out)
+
+        # A zero-row report gates nothing: bad input (2), never a vacuous
+        # "all 0 primitives within tolerance" pass.
+        empty_e9 = write(tmp, "empty_e9.json", [e9_report({})])
+        code, out = run(perf_diff, hidden, empty_e9)
+        check(code == 2, "zero-row e9 baseline exits 2", out)
+        check("empty_e9.json" in out and "no rows" in out,
+              "zero-row diagnostic names the file", out)
+        code, out = run(perf_diff, empty_e9, base)
+        check(code == 2, "zero-row e9 current report exits 2", out)
+        empty_e1 = write(tmp, "empty_e1.json", [e1_report({})])
+        code, out = run(perf_diff, hidden, base, "--times", empty_e1)
+        check(code == 2, "zero-row e1 times baseline exits 2", out)
 
         # Spreading times: means fine, hp-time quantile drifted -> exit 1.
         times_base = write(

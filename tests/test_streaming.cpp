@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "dist/distributions.hpp"
@@ -241,4 +242,118 @@ TEST(StreamingSummaryTest, MergePreservesEveryComponent) {
   for (double q : {0.25, 0.5, 0.9}) {
     EXPECT_NEAR(rank_of(sorted, merged.quantile(q)), q, kRankTolerance);
   }
+}
+
+// --- Empty-state contract & checkpoint round-trips ---------------------------
+//
+// Sharded campaigns legally produce accumulators that saw zero samples (a
+// shard may own no blocks of a configuration), and checkpoint/resume folds
+// restored states. Both contracts are bit-level: "no data" must surface as
+// NaN, never a fabricated number, and state()/restore() must round-trip
+// every observable exactly.
+
+namespace {
+
+std::uint64_t bits(double x) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(x));
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+void expect_same_state(const StreamingSummary::State& a, const StreamingSummary::State& b) {
+  EXPECT_EQ(a.moments.count, b.moments.count);
+  EXPECT_EQ(bits(a.moments.mean), bits(b.moments.mean));
+  EXPECT_EQ(bits(a.moments.m2), bits(b.moments.m2));
+  EXPECT_EQ(bits(a.moments.min), bits(b.moments.min));
+  EXPECT_EQ(bits(a.moments.max), bits(b.moments.max));
+  EXPECT_EQ(a.sketch.count, b.sketch.count);
+  ASSERT_EQ(a.sketch.levels.size(), b.sketch.levels.size());
+  for (std::size_t l = 0; l < a.sketch.levels.size(); ++l) {
+    EXPECT_EQ(a.sketch.levels[l].keep_odd, b.sketch.levels[l].keep_odd) << "level " << l;
+    ASSERT_EQ(a.sketch.levels[l].items.size(), b.sketch.levels[l].items.size()) << "level " << l;
+    for (std::size_t i = 0; i < a.sketch.levels[l].items.size(); ++i) {
+      EXPECT_EQ(bits(a.sketch.levels[l].items[i]), bits(b.sketch.levels[l].items[i]));
+    }
+  }
+  EXPECT_EQ(a.reservoir.count, b.reservoir.count);
+  EXPECT_EQ(a.reservoir.entries, b.reservoir.entries);
+}
+
+}  // namespace
+
+TEST(StreamingEmptyState, QuantilesAndBootstrapAreNaNOnZeroSamples) {
+  const QuantileSketch sketch(256);
+  EXPECT_TRUE(std::isnan(sketch.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(sketch.hp_time(0.05)));
+
+  const StreamingSummary summary;
+  EXPECT_EQ(summary.count(), 0u);
+  EXPECT_TRUE(std::isnan(summary.median()));
+  EXPECT_TRUE(std::isnan(summary.quantile(0.95)));
+  EXPECT_TRUE(std::isnan(summary.hp_time(0.05)));
+  const auto ci = summary.mean_ci();
+  EXPECT_TRUE(std::isnan(ci.lower));
+  EXPECT_TRUE(std::isnan(ci.point));
+  EXPECT_TRUE(std::isnan(ci.upper));
+}
+
+TEST(StreamingEmptyState, MergingAnEmptyOperandIsAnExactIdentityBothWays) {
+  const auto samples = exponential_samples(300, 31);
+  StreamingSummary::Options options;
+  options.reservoir_salt = 9;
+  StreamingSummary full(options);
+  for (std::size_t i = 0; i < samples.size(); ++i) full.add(samples[i], i);
+  const auto before = full.state();
+
+  // nonempty.merge(empty): bit-identical state afterwards — in particular
+  // the sketch must not grow levels and the reservoir must keep capacity.
+  full.merge(StreamingSummary(options));
+  expect_same_state(full.state(), before);
+
+  // empty.merge(nonempty): adopts the other verbatim.
+  StreamingSummary adopted(options);
+  adopted.merge(full);
+  expect_same_state(adopted.state(), before);
+}
+
+TEST(StreamingEmptyState, StateRoundTripsBitExactlyThroughRestore) {
+  // Push well past both capacities so levels, compaction selectors, and the
+  // reservoir heap all carry non-trivial state.
+  const auto samples = exponential_samples(5'000, 33);
+  StreamingSummary::Options options;
+  options.sketch_capacity = 128;
+  options.reservoir_capacity = 64;
+  options.reservoir_salt = 17;
+  StreamingSummary original(options);
+  for (std::size_t i = 0; i < samples.size(); ++i) original.add(samples[i], i);
+
+  const StreamingSummary copy = StreamingSummary::restored(options, original.state());
+  expect_same_state(copy.state(), original.state());
+  EXPECT_EQ(bits(copy.mean()), bits(original.mean()));
+  EXPECT_EQ(bits(copy.stddev()), bits(original.stddev()));
+  for (double q : {0.05, 0.5, 0.95}) {
+    EXPECT_EQ(bits(copy.quantile(q)), bits(original.quantile(q)));
+  }
+  const auto ci0 = original.mean_ci();
+  const auto ci1 = copy.mean_ci();
+  EXPECT_EQ(bits(ci0.lower), bits(ci1.lower));
+  EXPECT_EQ(bits(ci0.point), bits(ci1.point));
+  EXPECT_EQ(bits(ci0.upper), bits(ci1.upper));
+
+  // Restored summaries must also *continue* identically: same future adds
+  // produce the same future state (the resume contract in miniature).
+  StreamingSummary a = original;
+  StreamingSummary b = StreamingSummary::restored(options, original.state());
+  for (std::uint64_t t = 9'000; t < 9'100; ++t) {
+    a.add(static_cast<double>(t % 13), t);
+    b.add(static_cast<double>(t % 13), t);
+  }
+  expect_same_state(a.state(), b.state());
+
+  // An *empty* state round-trips too (a resumed shard that owned nothing).
+  const StreamingSummary empty(options);
+  const StreamingSummary empty_copy = StreamingSummary::restored(options, empty.state());
+  expect_same_state(empty_copy.state(), empty.state());
+  EXPECT_TRUE(std::isnan(empty_copy.median()));
 }

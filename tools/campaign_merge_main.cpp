@@ -1,0 +1,11 @@
+// tools/campaign_merge: folds finished shard snapshots (rumor_bench
+// --campaign ... --shard i/k) into the campaign's final report,
+// bit-identical to an unsharded run. All logic lives in
+// sim/checkpoint.cpp; this is the thin process entry point.
+#include <iostream>
+
+#include "sim/checkpoint.hpp"
+
+int main(int argc, char** argv) {
+  return rumor::sim::run_campaign_merge_cli(argc, argv, std::cout, std::cerr);
+}

@@ -64,11 +64,27 @@ def find_report(path, experiment):
 
 
 def load_e9_rows(path):
-    """Returns {primitive: ns_per_op} from a report file."""
+    """Returns {primitive: ns_per_op} from a report file.
+
+    A report with no rows, or a primitive timed at <= 0 ns, is corrupt or
+    truncated input — comparing against it would either gate nothing
+    (vacuous pass) or divide by zero (spurious inf-ratio "regression"), so
+    both are rejected as bad input (exit 2) rather than diffed.
+    """
     report = find_report(path, "e9_micro")
-    return {
-        row["primitive"]: float(row["ns_per_op"]) for row in report.get("rows", [])
-    }
+    rows = report.get("rows", [])
+    if not rows:
+        raise ValueError(f"{path}: e9_micro report has no rows (truncated run?)")
+    out = {}
+    for row in rows:
+        ns = float(row["ns_per_op"])
+        if not ns > 0.0:
+            raise ValueError(
+                f"{path}: primitive '{row['primitive']}' has ns_per_op == "
+                f"{row['ns_per_op']} (corrupt report; must be > 0)"
+            )
+        out[row["primitive"]] = ns
+    return out
 
 
 def load_family_means(path):
@@ -79,6 +95,8 @@ def load_family_means(path):
     means it has.
     """
     report = find_report(path, "e1_overview")
+    if not report.get("rows"):
+        raise ValueError(f"{path}: e1_overview report has no rows (truncated run?)")
     optional = ("sync_hp_time", "async_hp_time")
     return {
         row["graph"]: {
@@ -90,11 +108,15 @@ def load_family_means(path):
     }
 
 
-def normalize_rows(rows, primitive, label):
+def normalize_rows(rows, primitive, path):
     """Divides every ns_per_op by `primitive`'s value within the same report."""
     ref = rows.get(primitive)
-    if ref is None or ref <= 0.0:
-        raise KeyError(f"{label}: cannot normalize by '{primitive}' (missing or zero)")
+    if ref is None:
+        have = ", ".join(sorted(rows)) or "none"
+        raise ValueError(
+            f"{path}: cannot normalize by '{primitive}' — report has no such "
+            f"primitive (rows: {have})"
+        )
     return {name: ns / ref for name, ns in rows.items()}
 
 
@@ -189,8 +211,8 @@ def main():
         current = load_e9_rows(args.current)
         baseline = load_e9_rows(args.baseline)
         if args.normalize:
-            current = normalize_rows(current, args.normalize, "current")
-            baseline = normalize_rows(baseline, args.normalize, "baseline")
+            current = normalize_rows(current, args.normalize, args.current)
+            baseline = normalize_rows(baseline, args.normalize, args.baseline)
             print(f"(ns_per_op normalized by each report's own '{args.normalize}')")
         time_pairs = None
         if args.times:
