@@ -1,0 +1,75 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace rumor::obs {
+
+ProgressMeter::ProgressMeter(std::ostream& out, std::chrono::milliseconds interval)
+    : out_(out), interval_(interval) {}
+
+ProgressMeter::~ProgressMeter() { stop(); }
+
+void ProgressMeter::start(std::string label) {
+  label_ = std::move(label);
+  started_ = std::chrono::steady_clock::now();
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = false;
+    running_ = true;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void ProgressMeter::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    const std::scoped_lock lock(mutex_);
+    running_ = false;
+  }
+  print_line(true);
+}
+
+void ProgressMeter::run() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) return;
+    lock.unlock();
+    print_line(false);
+    lock.lock();
+  }
+}
+
+void ProgressMeter::print_line(bool final_line) {
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const std::uint64_t scheduled = scheduled_.load(std::memory_order_relaxed);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  char tail[128];
+  if (final_line) {
+    std::snprintf(tail, sizeof tail, "%.1f blocks/s, %.1fs elapsed, done", rate, elapsed);
+  } else {
+    const std::uint64_t remaining = scheduled > done ? scheduled - done : 0;
+    if (rate > 0.0) {
+      std::snprintf(tail, sizeof tail, "%.1f blocks/s, eta %.1fs, phase %s", rate,
+                    static_cast<double>(remaining) / rate,
+                    phase_.load(std::memory_order_relaxed));
+    } else {
+      std::snprintf(tail, sizeof tail, "phase %s", phase_.load(std::memory_order_relaxed));
+    }
+  }
+  // One formatted write per line, so concurrent stderr writers (other
+  // processes of a sharded fleet) interleave at line granularity.
+  out_ << "progress [" << label_ << "] " << done << "/" << scheduled << " blocks, " << tail
+       << "\n";
+  out_.flush();
+}
+
+}  // namespace rumor::obs

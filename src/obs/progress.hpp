@@ -1,0 +1,70 @@
+// rumor/obs: live campaign progress.
+//
+// A heartbeat thread prints one status line per interval to a stream of the
+// caller's choosing — the CLI always hands in stderr, so --json stdout
+// stays machine-parseable (tested in tests/test_bench_cli.cpp). The
+// scheduler feeds three atomics (blocks scheduled, blocks done, current
+// phase); the printer reads them with relaxed loads, so workers never block
+// on progress reporting.
+//
+// The denominator is the number of blocks *scheduled so far*: race
+// configurations append their screen/refine passes while the campaign
+// runs, so the total can grow. The heartbeat is honest about that — the
+// percentage can step backwards when a race expands — rather than
+// pretending a final total is known up front.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rumor::obs {
+
+class ProgressMeter {
+ public:
+  /// `out` must outlive the meter. `interval` is the heartbeat period.
+  ProgressMeter(std::ostream& out, std::chrono::milliseconds interval);
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Starts the heartbeat thread. `label` names the campaign in each line.
+  void start(std::string label);
+  /// Stops the thread and prints one final summary line. Idempotent.
+  void stop();
+
+  // Scheduler-side feeds; safe from any thread, never blocking.
+  void on_scheduled(std::uint64_t n) noexcept {
+    scheduled_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_done() noexcept { done_.fetch_add(1, std::memory_order_relaxed); }
+  /// `phase` must be a string literal (stored as a pointer).
+  void set_phase(const char* phase) noexcept {
+    phase_.store(phase, std::memory_order_relaxed);
+  }
+
+ private:
+  void print_line(bool final_line);
+  void run();
+
+  std::ostream& out_;
+  std::chrono::milliseconds interval_;
+  std::string label_;
+  std::atomic<std::uint64_t> scheduled_{0};
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<const char*> phase_{"startup"};
+  std::chrono::steady_clock::time_point started_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rumor::obs

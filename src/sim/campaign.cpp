@@ -18,6 +18,7 @@
 
 #include "core/quasirandom.hpp"
 #include "graph/generators.hpp"
+#include "obs/telemetry.hpp"
 #include "rng/rng.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/experiment.hpp"
@@ -113,7 +114,7 @@ dynamics::DynamicsSpec resolved_dynamics(const CampaignConfig& cfg) noexcept {
 double run_one(const CampaignConfig& cfg, const Graph& g,
                const dynamics::NeighborAliasTable* shared_weighted,
                const std::vector<graph::Edge>* shared_edges, graph::NodeId source,
-               std::uint64_t stream_seed, std::uint64_t trial) {
+               std::uint64_t stream_seed, std::uint64_t trial, obs::WorkerMetrics* metrics) {
   rng::Engine eng = rng::derive_stream(stream_seed, trial);
   std::optional<dynamics::DynamicGraphView> view;
   dynamics::DynamicGraphView* view_ptr = nullptr;
@@ -132,6 +133,7 @@ double run_one(const CampaignConfig& cfg, const Graph& g,
         throw std::runtime_error(
             "campaign: run_sync hit the round cap (disconnected or churned-out graph?)");
       }
+      if (metrics != nullptr) metrics->sync_rounds += result.rounds;
       return static_cast<double>(result.rounds);
     }
     case EngineKind::kAsync: {
@@ -145,6 +147,7 @@ double run_one(const CampaignConfig& cfg, const Graph& g,
         throw std::runtime_error(
             "campaign: run_async hit the step cap (disconnected or churned-out graph?)");
       }
+      if (metrics != nullptr) metrics->async_events += result.steps;
       return result.time;
     }
     case EngineKind::kAux: {
@@ -154,6 +157,7 @@ double run_one(const CampaignConfig& cfg, const Graph& g,
       if (!result.completed) {
         throw std::runtime_error("campaign: run_aux hit the round cap (disconnected graph?)");
       }
+      if (metrics != nullptr) metrics->sync_rounds += result.rounds;
       return static_cast<double>(result.rounds);
     }
     case EngineKind::kQuasirandom: {
@@ -164,6 +168,7 @@ double run_one(const CampaignConfig& cfg, const Graph& g,
         throw std::runtime_error(
             "campaign: run_quasirandom hit the round cap (disconnected graph?)");
       }
+      if (metrics != nullptr) metrics->sync_rounds += result.rounds;
       return static_cast<double>(result.rounds);
     }
   }
@@ -182,6 +187,28 @@ constexpr std::uint64_t kSourceStride = 0x9e3779b9ULL;
 /// kScreen block enqueues the refine pass; the last kRefine block picks the
 /// worst source and publishes the result.
 enum class BlockKind : std::uint8_t { kTrials, kPlan, kScreen, kRefine };
+
+/// Trace span names per block kind (string literals: TraceSpan stores the
+/// pointer) and the short phase labels the progress heartbeat shows.
+constexpr const char* block_span_name(BlockKind k) noexcept {
+  switch (k) {
+    case BlockKind::kTrials: return "block:trials";
+    case BlockKind::kPlan: return "block:plan";
+    case BlockKind::kScreen: return "block:screen";
+    case BlockKind::kRefine: return "block:refine";
+  }
+  return "block";
+}
+
+constexpr const char* block_phase_name(BlockKind k) noexcept {
+  switch (k) {
+    case BlockKind::kTrials: return "trials";
+    case BlockKind::kPlan: return "plan";
+    case BlockKind::kScreen: return "screen";
+    case BlockKind::kRefine: return "refine";
+  }
+  return "?";
+}
 
 struct Block {
   std::size_t config = 0;   // index into `configs`
@@ -249,11 +276,17 @@ struct ConfigState {
 /// nothing is in flight (an in-flight block may still push successors).
 class BlockQueue {
  public:
+  /// `tel` may be null (telemetry disabled). The queue's own mutex
+  /// serializes the telemetry's queue-side hooks (scheduling counter and
+  /// depth histogram) — no extra synchronization inside the telemetry.
+  explicit BlockQueue(obs::Telemetry* tel) noexcept : tel_(tel) {}
+
   void push(std::vector<Block> blocks) {
     {
       const std::scoped_lock lock(mutex_);
       outstanding_ += blocks.size();
       for (Block& b : blocks) queue_.push_back(b);
+      if (tel_ != nullptr) tel_->on_blocks_scheduled(blocks.size());
     }
     cv_.notify_all();
   }
@@ -266,6 +299,7 @@ class BlockQueue {
     if (aborted_ || queue_.empty()) return false;
     out = queue_.front();
     queue_.pop_front();
+    if (tel_ != nullptr) tel_->sample_queue_depth(queue_.size());
     return true;
   }
 
@@ -295,6 +329,7 @@ class BlockQueue {
   std::deque<Block> queue_;
   std::size_t outstanding_ = 0;  // queued + currently processing
   bool aborted_ = false;
+  obs::Telemetry* tel_;  // borrowed; hooks called under mutex_
 };
 
 /// Splits `trials` into block_size'd slots appended as (kind, entrant)
@@ -560,7 +595,19 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
   if (workers == 0) workers = 1;
   workers = static_cast<unsigned>(std::min<std::size_t>(workers, block_estimate));
 
-  BlockQueue queue;
+  // Telemetry is strictly observational: every hook below sits behind an
+  // `if (tel)` (or a sink pointer), so a null sink is the exact pre-existing
+  // code path and attached telemetry never influences scheduling decisions.
+  obs::Telemetry* const tel = options.telemetry;
+  if (tel != nullptr) {
+    std::vector<std::string> ids;
+    ids.reserve(results.size());
+    for (const CampaignResult& r : results) ids.push_back(r.id);
+    tel->begin(std::move(ids), std::max(workers, 1u),
+               options.telemetry_label.empty() ? campaign_name : options.telemetry_label);
+  }
+
+  BlockQueue queue(tel);
   std::exception_ptr error;
   std::mutex error_mutex;
 
@@ -568,7 +615,7 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
     return cfg.race.final_trials != 0 ? cfg.race.final_trials : cfg.trials;
   };
 
-  auto build_graph_once = [&](std::size_t c) {
+  auto build_graph_once = [&](std::size_t c, obs::WorkerSink* sink) {
     const CampaignConfig& cfg = configs[c];
     ConfigState& st = states[c];
     // Lazy one-shot graph construction on whichever worker gets there
@@ -576,6 +623,7 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
     // caller if the builder throws, but the error capture below drains the
     // queue before that matters.
     std::call_once(st.build_once, [&] {
+      const std::uint64_t build_begin = sink != nullptr ? sink->now_ns() : 0;
       st.graph = cfg.prebuilt != nullptr
                      ? cfg.prebuilt
                      : std::make_shared<const Graph>(build_graph(cfg.graph, cfg.seed));
@@ -594,6 +642,11 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
         st.edges = std::make_shared<const std::vector<graph::Edge>>(
             dynamics::base_edge_list(*st.graph));
       }
+      if (sink != nullptr) {
+        sink->metrics.graph_builds += 1;
+        sink->span("graph:build", build_begin, sink->now_ns(),
+                   static_cast<std::uint32_t>(c));
+      }
     });
   };
 
@@ -601,11 +654,12 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
   // always land in their slot, and every cross-pass hand-off happens on the
   // worker that decrements the pass counter to zero — a deterministic
   // reduction no matter which threads ran which blocks.
-  auto process_block = [&](const Block& block) {
+  auto process_block = [&](const Block& block, obs::WorkerSink* sink) {
     const CampaignConfig& cfg = configs[block.config];
     ConfigState& st = states[block.config];
     CampaignResult& r = results[block.config];
-    build_graph_once(block.config);
+    obs::WorkerMetrics* const metrics = sink != nullptr ? &sink->metrics : nullptr;
+    build_graph_once(block.config, sink);
     const Graph& g = *st.graph;
 
     switch (block.kind) {
@@ -619,7 +673,8 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
         }
         stats::StreamingSummary partial(summary_opts(cfg));
         for (std::uint64_t t = block.begin; t < block.end; ++t) {
-          partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), cfg.source, cfg.seed, t),
+          partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), cfg.source, cfg.seed, t,
+                              metrics),
                       t);
         }
         st.partials[block.slot] = std::move(partial);
@@ -632,11 +687,16 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
           // per-block state — from here on the configuration occupies only
           // its constant-size summary.
           if (finalize_here[block.config] != 0) {
+            const std::uint64_t merge_begin = sink != nullptr ? sink->now_ns() : 0;
             stats::StreamingSummary total = std::move(st.partials.front());
             for (std::size_t s = 1; s < st.partials.size(); ++s) total.merge(st.partials[s]);
             r.graph_name = g.name();
             r.n = g.num_nodes();
             r.summary = std::move(total);
+            if (sink != nullptr) {
+              sink->span("merge", merge_begin, sink->now_ns(),
+                         static_cast<std::uint32_t>(block.config));
+            }
             if (recorder != nullptr) recorder->record_done(block.config, r);
           }
           st.partials.clear();
@@ -644,6 +704,7 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
           st.graph.reset();
           st.weighted.reset();
           st.edges.reset();
+          if (metrics != nullptr) metrics->graph_frees += 1;
         }
         break;
       }
@@ -670,7 +731,8 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
         stats::RunningMoments partial;
         const std::uint64_t stream_seed = cfg.seed + kSourceStride * u;
         for (std::uint64_t t = block.begin; t < block.end; ++t) {
-          partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), u, stream_seed, t));
+          partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), u, stream_seed, t,
+                              metrics));
         }
         st.screen_partials[block.entrant][block.slot] = partial;
         if (recorder != nullptr) {
@@ -718,7 +780,9 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
         stats::StreamingSummary partial(summary_opts(cfg));
         const std::uint64_t stream_seed = cfg.seed + 1 + kSourceStride * u;
         for (std::uint64_t t = block.begin; t < block.end; ++t) {
-          partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), u, stream_seed, t), t);
+          partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), u, stream_seed, t,
+                              metrics),
+                      t);
         }
         st.refine_partials[block.entrant][block.slot] = std::move(partial);
         if (recorder != nullptr) {
@@ -729,6 +793,7 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
           // Refinement complete: fold each finalist in slot order, keep the
           // worst finalist's full summary as the configuration's result
           // (first-seen wins ties, matching the historical adversary scan).
+          const std::uint64_t merge_begin = sink != nullptr ? sink->now_ns() : 0;
           bool first = true;
           for (std::size_t i = 0; i < st.finalists.size(); ++i) {
             stats::StreamingSummary total = std::move(st.refine_partials[i].front());
@@ -748,6 +813,10 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
           }
           r.graph_name = g.name();
           r.n = g.num_nodes();
+          if (sink != nullptr) {
+            sink->span("merge", merge_begin, sink->now_ns(),
+                       static_cast<std::uint32_t>(block.config));
+          }
           if (recorder != nullptr) recorder->record_done(block.config, r);
           st.refine_partials.clear();
           st.refine_partials.shrink_to_fit();
@@ -756,6 +825,7 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
           st.graph.reset();
           st.weighted.reset();
           st.edges.reset();
+          if (metrics != nullptr) metrics->graph_frees += 1;
         }
         break;
       }
@@ -766,11 +836,18 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
 
   std::atomic<bool> stopped{false};
 
-  auto worker = [&] {
+  auto worker = [&](unsigned wid) {
+    obs::WorkerSink* const sink = tel != nullptr ? &tel->sink(wid) : nullptr;
+    std::uint64_t wait_begin = sink != nullptr ? sink->now_ns() : 0;
     Block block;
     while (queue.pop(block)) {
+      const std::uint64_t started = sink != nullptr ? sink->now_ns() : 0;
+      if (sink != nullptr) sink->metrics.idle_ns += started - wait_begin;
+      if (tel != nullptr) tel->set_phase(block_phase_name(block.kind));
+      bool ok = false;
       try {
-        process_block(block);
+        process_block(block, sink);
+        ok = true;
         if (recorder != nullptr && recorder->block_finished()) {
           // stop_after_blocks budget exhausted: drain the queue; in-flight
           // blocks still finish and record, so the final checkpoint below
@@ -786,18 +863,41 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
         queue.abort();
       }
       queue.finish_one();
+      if (sink != nullptr) {
+        const std::uint64_t finished = sink->now_ns();
+        sink->metrics.busy_ns += finished - started;
+        if (ok) {
+          // Exact counters count *successful* blocks only; kPlan blocks have
+          // begin == end, so trial attribution is uniform across kinds.
+          sink->metrics.blocks_executed += 1;
+          sink->metrics.trials_simulated += block.end - block.begin;
+          obs::ConfigCost& cost = sink->per_config[block.config];
+          cost.blocks += 1;
+          cost.trials += block.end - block.begin;
+          cost.busy_ns += finished - started;
+          sink->span(block_span_name(block.kind), started, finished,
+                     static_cast<std::uint32_t>(block.config),
+                     static_cast<std::int64_t>(block.slot));
+        }
+        wait_begin = finished;
+      }
+      if (ok && tel != nullptr) tel->on_block_done();
     }
+    if (sink != nullptr) sink->metrics.idle_ns += sink->now_ns() - wait_begin;
   };
 
   if (workers <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker, i);
     for (auto& th : pool) th.join();
   }
-  if (error) std::rethrow_exception(error);
+  if (error) {
+    if (tel != nullptr) tel->end();
+    std::rethrow_exception(error);
+  }
 
   CampaignOutcome outcome;
   outcome.results = std::move(results);
@@ -807,6 +907,7 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
     outcome.snapshot = recorder->snapshot(outcome.complete);
     if (!options.checkpoint_file.empty()) recorder->write_checkpoint(outcome.complete);
   }
+  if (tel != nullptr) tel->end();
   return outcome;
 }
 
@@ -1300,6 +1401,7 @@ Json campaign_report(const CampaignResult& result, const std::string& campaign_n
              "Streaming summary: mean/min/max exact (merged Welford moments); median/p95/"
              "hp_time from a mergeable quantile sketch (rank error bounds documented in "
              "tests/test_streaming.cpp); CI bootstrapped from a bounded uniform reservoir.");
+  report.set("build_info", build_info_json());
   return report;
 }
 

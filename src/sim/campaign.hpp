@@ -35,6 +35,10 @@
 #include "graph/graph.hpp"
 #include "stats/streaming.hpp"
 
+namespace rumor::obs {
+class Telemetry;  // obs/telemetry.hpp
+}
+
 namespace rumor::sim {
 
 class Json;  // experiment.hpp
@@ -162,6 +166,16 @@ struct CampaignOptions {
   /// this process (0 = run to completion). The stopped campaign's outcome
   /// has complete == false; resume from the checkpoint to continue.
   std::uint64_t stop_after_blocks = 0;
+
+  /// Observability sink (obs/telemetry.hpp), borrowed for the run; null (the
+  /// default) disables all telemetry. Strictly observational: the scheduler
+  /// only ever *feeds* it, so results are byte-identical with or without a
+  /// sink attached (tested in tests/test_obs.cpp).
+  obs::Telemetry* telemetry = nullptr;
+  /// Name shown in progress lines and stamped into the trace. Empty falls
+  /// back to the campaign name the scheduler was invoked with ("campaign"
+  /// for plain run_campaign, which has no name parameter).
+  std::string telemetry_label;
 };
 
 /// One configuration's reduced result: identification plus the streaming

@@ -4,12 +4,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
 
+#include "obs/telemetry.hpp"
 #include "rng/rng.hpp"
 
 namespace rumor::sim {
@@ -487,6 +489,11 @@ Json CampaignRecorder::snapshot(bool finished) const {
   doc.set("shard_count", options_.shard_count);
   doc.set("finished", finished);
   doc.set("blocks_done", blocks_done_);
+  // Wall-clock provenance for operators juggling shard fleets: merge
+  // tolerates skew but warns when shards were written far apart (see
+  // report_stale_snapshots). Loaders treat the key as optional, so
+  // pre-existing snapshots (and the version number) stay valid.
+  doc.set("written_at", static_cast<std::uint64_t>(std::time(nullptr)));
   Json arr = Json::array();
   for (std::size_t c = 0; c < store_.size(); ++c) {
     const StoredConfig& sc = store_[c];
@@ -545,11 +552,16 @@ Json CampaignRecorder::snapshot(bool finished) const {
 void CampaignRecorder::write_checkpoint(bool finished) const {
   const std::scoped_lock write_lock(write_mutex_);
   const Json doc = snapshot(finished);
+  obs::Telemetry* const tel = options_.telemetry;
+  const std::uint64_t write_begin = tel != nullptr ? tel->now_ns() : 0;
   std::string error;
   if (!write_file_atomic(options_.checkpoint_file, doc.dump(2) + "\n", error)) {
     throw std::runtime_error("checkpoint: cannot write " + options_.checkpoint_file + ": " +
                              error);
   }
+  // Serialization happens above under the same lock, so this measures the
+  // durable-write path alone (write + fsync + rename + dir fsync).
+  if (tel != nullptr) tel->on_checkpoint_write(write_begin, tel->now_ns());
 }
 
 std::uint64_t CampaignRecorder::blocks_done() const {
@@ -928,6 +940,31 @@ void print_merge_usage(std::ostream& out) {
 
 }  // namespace
 
+void report_stale_snapshots(const std::vector<Json>& snapshots,
+                            const std::vector<std::string>& names, const char* prog,
+                            std::ostream& err) {
+  constexpr double kStaleSeconds = 3600.0;  // an hour of skew is suspicious
+  std::vector<double> written(snapshots.size(), -1.0);
+  double newest = -1.0;
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const Json* v = snapshots[i].find("written_at");
+    if (v != nullptr && v->is_number() && v->as_number() > 0.0) {
+      written[i] = v->as_number();
+      newest = std::max(newest, written[i]);
+    }
+  }
+  if (newest < 0.0) return;  // no snapshot carries the stamp
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    if (written[i] < 0.0) continue;
+    const double lag = newest - written[i];
+    if (lag <= kStaleSeconds) continue;
+    const std::string name = i < names.size() ? names[i] : "shard " + std::to_string(i + 1);
+    err << prog << ": warning: snapshot '" << name << "' was written "
+        << static_cast<long long>(std::llround(lag / 60.0)) << " min before the newest shard"
+        << " (stale shard? re-run it if the spec or binary changed since)\n";
+  }
+}
+
 int run_campaign_merge_cli(int argc, const char* const* argv, std::ostream& out,
                            std::ostream& err) {
   constexpr const char* kProg = "campaign_merge";
@@ -1012,6 +1049,7 @@ int run_campaign_merge_cli(int argc, const char* const* argv, std::ostream& out,
     if (!doc) return 2;
     snapshots.push_back(std::move(*doc));
   }
+  report_stale_snapshots(snapshots, files, kProg, err);
 
   std::vector<CampaignResult> results;
   try {

@@ -134,6 +134,18 @@ struct CampaignOutcome {
 [[nodiscard]] std::optional<Json> read_json_file(const std::string& path, const char* prog,
                                                  std::ostream& err);
 
+/// Stale-shard advisory for merge flows: snapshots carry an optional
+/// `written_at` wall-clock stamp (unix seconds, recorded on every
+/// checkpoint write); when the shards handed to a merge were written more
+/// than an hour apart, each laggard gets a `prog`-prefixed warning on `err`
+/// naming its file (`names` parallels `snapshots`). Advisory only — byte
+/// determinism makes mixing old and new shards safe when the spec really is
+/// unchanged, and the spec-hash check still rejects true mismatches — and
+/// snapshots without the stamp (pre-dating it) are silently tolerated.
+void report_stale_snapshots(const std::vector<Json>& snapshots,
+                            const std::vector<std::string>& names, const char* prog,
+                            std::ostream& err);
+
 /// The tools/campaign_merge entry point:
 ///   campaign_merge --campaign spec.json [--out FILE] [--trials N]
 ///                  [--seed S] [--scale K] shard1.json shard2.json ...

@@ -18,6 +18,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/build_info.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/checkpoint.hpp"
 
 #include "sim/campaign.hpp"
@@ -420,7 +422,19 @@ Json run_experiment(const ExperimentInfo& info, const ExperimentOptions& opts) {
   params.set("scale", opts.scale);
   report.set("params", params);
   for (auto& [key, value] : body.mutable_entries()) report.set(key, std::move(value));
+  report.set("build_info", build_info_json());
   return report;
+}
+
+Json build_info_json() {
+  const obs::BuildInfo& bi = obs::build_info();
+  Json info = Json::object();
+  info.set("git_sha", bi.git_sha);
+  info.set("compiler", bi.compiler);
+  info.set("compiler_version", bi.compiler_version);
+  info.set("build_type", bi.build_type);
+  info.set("flags", bi.flags);
+  return info;
 }
 
 namespace {
@@ -516,10 +530,18 @@ void print_usage(std::ostream& out) {
          "  --stop-after-blocks N  stop after N blocks (exit 3; testing/ops hook)\n"
          "  --merge          fold finished shard snapshots (positional args) into the\n"
          "                   final report (also available as tools/campaign_merge)\n"
+         "  --trace FILE     write a Chrome/Perfetto trace of the campaign run to FILE\n"
+         "                   (per-worker block/graph-build/merge spans + metrics; fold\n"
+         "                   with tools/trace_report.py)\n"
+         "  --progress       print live heartbeat lines (blocks done, rate, eta) to\n"
+         "                   stderr while the campaign runs; stdout stays parseable\n"
+         "  --telemetry      embed a stats.telemetry cost breakdown (campaign wall time,\n"
+         "                   per-config blocks/trials/busy time) in campaign reports\n"
          "  --trials N       override the trial count of every measurement\n"
          "  --seed S         override the root seed (trial i uses stream i)\n"
          "  --threads T      worker threads (0 = hardware concurrency)\n"
          "  --scale K        workload multiplier in [1, 64] (default: $RUMOR_BENCH_SCALE or 1)\n"
+         "  --version        print build provenance (git sha, compiler, build type) and exit\n"
          "  --help           this text\n";
 }
 
@@ -607,6 +629,9 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
   std::uint64_t checkpoint_every = 16;
   std::string resume_file;
   std::uint64_t stop_after_blocks = 0;
+  std::string trace_file;
+  bool progress = false;
+  bool telemetry_stats = false;
   std::vector<std::string> names;
 
   auto numeric_arg = [&](int& i, const char* flag) -> std::optional<std::uint64_t> {
@@ -644,6 +669,19 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
     } else if (arg == "--help" || arg == "-h") {
       print_usage(out);
       return 0;
+    } else if (arg == "--version") {
+      out << obs::build_info_line("rumor_bench") << "\n";
+      return 0;
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        err << "rumor_bench: --trace requires a file path\n";
+        return 2;
+      }
+      trace_file = argv[++i];
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--telemetry") {
+      telemetry_stats = true;
     } else if (arg == "--trials") {
       const auto v = numeric_arg(i, "--trials");
       if (!v) return 2;
@@ -789,9 +827,9 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
 
   if (campaign_file.empty() &&
       (merge || shard_explicit || !checkpoint_file.empty() || !resume_file.empty() ||
-       stop_after_blocks != 0)) {
-    err << "rumor_bench: --merge/--shard/--checkpoint/--resume/--stop-after-blocks require "
-           "--campaign\n";
+       stop_after_blocks != 0 || !trace_file.empty() || progress || telemetry_stats)) {
+    err << "rumor_bench: --merge/--shard/--checkpoint/--resume/--stop-after-blocks/--trace/"
+           "--progress/--telemetry require --campaign\n";
     return 2;
   }
 
@@ -811,10 +849,58 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
                                 err);
     if (!spec) return 2;
 
+    // Telemetry wiring: any of the three faces instantiates the registry;
+    // --telemetry additionally surfaces the snapshot in report stats. The
+    // heartbeat goes to `err` (the CLI hands in stderr) so --json stdout
+    // stays machine-parseable.
+    std::unique_ptr<obs::Telemetry> telemetry;
+    if (!trace_file.empty() || progress || telemetry_stats) {
+      obs::Telemetry::Options topt;
+      topt.trace = !trace_file.empty();
+      topt.progress = progress;
+      topt.progress_stream = &err;
+      telemetry = std::make_unique<obs::Telemetry>(topt);
+    }
+    std::optional<obs::MetricsSnapshot> telemetry_metrics;
+
+    /// Writes the --trace file once the campaign has run (also on an early
+    /// stop, so partial runs are inspectable). Returns false on I/O failure.
+    auto finish_telemetry = [&]() -> bool {
+      if (telemetry == nullptr) return true;
+      telemetry->end();  // idempotent; run_campaign already ended it
+      telemetry_metrics = telemetry->snapshot();
+      if (!trace_file.empty()) {
+        std::string terr;
+        if (!telemetry->write_trace(trace_file, &terr)) {
+          err << "rumor_bench: " << terr << "\n";
+          return false;
+        }
+      }
+      return true;
+    };
+
     auto render_results = [&](const std::vector<CampaignResult>& results) -> int {
       Json reports = Json::array();
-      for (const CampaignResult& r : results) {
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const CampaignResult& r = results[i];
         Json report = campaign_report(r, spec->name);
+        if (telemetry_stats && telemetry_metrics.has_value()) {
+          // Results are ordered like the spec's configs, which is exactly
+          // the registry's per_config indexing.
+          for (auto& [key, value] : report.mutable_entries()) {
+            if (key != "stats" || !value.is_object()) continue;
+            Json t = Json::object();
+            t.set("campaign_wall_ms",
+                  static_cast<double>(telemetry_metrics->wall_ns) / 1e6);
+            if (i < telemetry_metrics->per_config.size()) {
+              const obs::ConfigCost& cost = telemetry_metrics->per_config[i];
+              t.set("blocks", cost.blocks);
+              t.set("trials", cost.trials);
+              t.set("busy_ms", static_cast<double>(cost.busy_ns) / 1e6);
+            }
+            value.set("telemetry", std::move(t));
+          }
+        }
         if (json) {
           reports.push_back(std::move(report));
         } else {
@@ -832,8 +918,10 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
     };
 
     if (merge) {
-      if (shard_explicit || !checkpoint_file.empty() || !resume_file.empty()) {
-        err << "rumor_bench: --merge cannot be combined with --shard/--checkpoint/--resume\n";
+      if (shard_explicit || !checkpoint_file.empty() || !resume_file.empty() ||
+          !trace_file.empty() || progress || telemetry_stats) {
+        err << "rumor_bench: --merge cannot be combined with "
+               "--shard/--checkpoint/--resume/--trace/--progress/--telemetry\n";
         return 2;
       }
       if (names.empty()) {
@@ -846,6 +934,11 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
         if (!doc) return 2;
         snapshots.push_back(std::move(*doc));
       }
+      // Tolerated, but reported: shards whose snapshots were written far
+      // apart usually mean a forgotten re-run of one shard after a spec or
+      // binary change (warnings only; byte-determinism makes mixing safe
+      // when the inputs really are the same).
+      report_stale_snapshots(snapshots, names, "rumor_bench", err);
       std::vector<CampaignResult> results;
       try {
         results = merge_campaign_snapshots(spec->configs, spec->name, snapshots);
@@ -864,6 +957,8 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
     campaign_options.checkpoint_file = checkpoint_file;
     campaign_options.checkpoint_every = checkpoint_every;
     campaign_options.stop_after_blocks = stop_after_blocks;
+    campaign_options.telemetry = telemetry.get();
+    campaign_options.telemetry_label = spec->name;
 
     const bool featured =
         shard_explicit || !checkpoint_file.empty() || !resume_file.empty() ||
@@ -877,6 +972,7 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
         err << "rumor_bench: campaign failed: " << e.what() << "\n";
         return 1;
       }
+      if (!finish_telemetry()) return 1;
       return render_results(results);
     }
 
@@ -910,6 +1006,7 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
       err << "rumor_bench: campaign failed: " << e.what() << "\n";
       return 1;
     }
+    if (!finish_telemetry()) return 1;
     if (!outcome.complete) {
       err << "rumor_bench: campaign stopped after " << outcome.blocks_done
           << " blocks; progress saved to " << checkpoint_file << " (continue with --resume "

@@ -194,6 +194,12 @@ struct ExperimentRegistrar {
 /// { "experiment": name, "params": {...}, "rows": [...], ... }.
 [[nodiscard]] Json run_experiment(const ExperimentInfo& info, const ExperimentOptions& opts);
 
+/// The binary's build provenance (obs/build_info.hpp) as the JSON object
+/// every report embeds under "build_info": git sha, compiler + version,
+/// build type, flags. Constant for a given binary, so same-binary report
+/// comparisons (the CI byte-diff contracts) are unaffected.
+[[nodiscard]] Json build_info_json();
+
 /// Durably writes `contents` to `path`: a sibling temp file in the
 /// destination's directory is written, flushed, fsync'd, atomically renamed
 /// over `path`, and the parent directory is fsync'd so the rename itself

@@ -528,3 +528,169 @@ TEST(BenchCliCheckpoint, FeatureFlagMisuseIsBadInput) {
 
   std::remove(spec.c_str());
 }
+
+// --- Observability: --version, --progress, --trace, --telemetry --------------
+
+TEST(BenchCliObservability, VersionPrintsBuildProvenance) {
+  int status = 0;
+  const std::string out = run_bench("--version", &status);
+  EXPECT_EQ(status, 0);
+  EXPECT_EQ(out.rfind("rumor_bench ", 0), 0u) << out;
+  // sha, compiler, build type — same provenance every JSON report carries.
+  EXPECT_NE(out.find('('), std::string::npos) << out;
+}
+
+TEST(BenchCliObservability, ProgressKeepsStdoutMachineParseable) {
+  const std::string spec = write_spec("bench_cli_progress.json", R"({
+    "name": "progresstest",
+    "defaults": {"trials": 8, "seed": 5},
+    "configs": [{"graph": "star", "n": [32, 48], "engine": ["sync", "async"]}]})");
+  int status = 0;
+
+  // stdout alone must stay a strict-parseable report stream.
+  const std::string out =
+      run_bench("--campaign " + spec + " --json --threads 2 --progress 2>/dev/null", &status);
+  EXPECT_EQ(status, 0);
+  const auto parsed = sim::Json::parse(out);
+  ASSERT_TRUE(parsed.has_value()) << "--progress leaked into stdout:\n" << out;
+  ASSERT_TRUE(parsed->is_array());
+  EXPECT_EQ(parsed->size(), 4u);
+
+  // The heartbeat (at least the final summary line) lands on stderr.
+  const std::string err =
+      run_bench("--campaign " + spec + " --json --threads 2 --progress 2>&1 1>/dev/null", &status);
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(err.find("progress [progresstest]"), std::string::npos) << err;
+  EXPECT_NE(err.find("done"), std::string::npos) << err;
+
+  std::remove(spec.c_str());
+}
+
+TEST(BenchCliObservability, TraceWritesValidFileWithoutPerturbingTheReport) {
+  const std::string spec = write_checkpoint_spec("bench_cli_trace_spec.json");
+  const std::string plain_out = testing::TempDir() + "bench_cli_trace_plain.json";
+  const std::string traced_out = testing::TempDir() + "bench_cli_trace_out.json";
+  const std::string trace = testing::TempDir() + "bench_cli_trace.json";
+  for (const auto& p : {plain_out, traced_out, trace}) std::remove(p.c_str());
+
+  int status = 0;
+  run_bench("--campaign " + spec + " --json --threads 2 --batch 4 --out " + plain_out, &status);
+  ASSERT_EQ(status, 0);
+  run_bench("--campaign " + spec + " --json --threads 2 --batch 4 --trace " + trace + " --out " +
+                traced_out,
+            &status);
+  ASSERT_EQ(status, 0);
+
+  // The observational contract, end to end through the real binary.
+  EXPECT_EQ(read_file(traced_out), read_file(plain_out))
+      << "--trace must not perturb the report";
+
+  const auto doc = sim::Json::parse(read_file(trace));
+  ASSERT_TRUE(doc.has_value()) << "trace file is not valid JSON";
+  const sim::Json* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t block_spans = 0;
+  for (const auto& ev : events->elements()) {
+    if (ev.find("ph")->as_string() == "X" &&
+        ev.find("name")->as_string().rfind("block:", 0) == 0) {
+      ++block_spans;
+    }
+  }
+  const sim::Json* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(static_cast<double>(block_spans),
+            metrics->find("totals")->find("blocks_executed")->as_number());
+
+  for (const auto& p : {spec, plain_out, traced_out, trace}) std::remove(p.c_str());
+}
+
+TEST(BenchCliObservability, TelemetryStatsAreOptInAndParseable) {
+  const std::string spec = write_spec("bench_cli_tel.json", R"({
+    "name": "teltest",
+    "configs": [{"graph": "star", "n": 32, "trials": 8, "seed": 5}]})");
+  int status = 0;
+  const std::string out =
+      run_bench("--campaign " + spec + " --json --threads 2 --telemetry 2>/dev/null", &status);
+  EXPECT_EQ(status, 0);
+  const auto parsed = sim::Json::parse(out);
+  ASSERT_TRUE(parsed.has_value()) << out;
+  const sim::Json* telemetry = parsed->find("stats")->find("telemetry");
+  ASSERT_NE(telemetry, nullptr) << "--telemetry must add stats.telemetry";
+  EXPECT_EQ(telemetry->find("trials")->as_number(), 8.0);
+  EXPECT_GE(telemetry->find("blocks")->as_number(), 1.0);
+  EXPECT_GT(telemetry->find("campaign_wall_ms")->as_number(), 0.0);
+  std::remove(spec.c_str());
+}
+
+TEST(BenchCliObservability, ObservabilityFlagMisuseIsBadInput) {
+  int status = 0;
+  // The flags describe a campaign run; without one they are bad input.
+  run_bench("e3_star --progress 2>/dev/null", &status);
+  EXPECT_EQ(status, 2);
+  run_bench("e3_star --trace t.json 2>/dev/null", &status);
+  EXPECT_EQ(status, 2);
+  run_bench("e3_star --telemetry 2>/dev/null", &status);
+  EXPECT_EQ(status, 2);
+  // --trace needs a path.
+  run_bench("--trace 2>/dev/null", &status);
+  EXPECT_EQ(status, 2);
+  // An unwritable trace path is a runtime failure, reported, exit 1.
+  const std::string spec = write_spec("bench_cli_tracefail.json",
+                                      R"({"configs": [{"graph": "star", "n": 32, "trials": 4}]})");
+  run_bench("--campaign " + spec + " --json --trace /no_such_dir/t.json >/dev/null 2>/dev/null",
+            &status);
+  EXPECT_EQ(status, 1);
+  std::remove(spec.c_str());
+}
+
+TEST(BenchCliObservability, StaleShardIsToleratedButReported) {
+  // Shard snapshots carry a written_at wall-clock stamp. A merge where one
+  // shard is hours older than the rest still succeeds — the stamp is
+  // advisory — but the laggard is called out on stderr, because a stale
+  // shard usually means someone forgot to re-run it after a spec change.
+  const std::string spec = write_checkpoint_spec("bench_cli_stale_spec.json");
+  const std::string s1 = testing::TempDir() + "bench_cli_stale1.json";
+  const std::string s2 = testing::TempDir() + "bench_cli_stale2.json";
+  const std::string merged = testing::TempDir() + "bench_cli_stale_merged.json";
+
+  int status = 0;
+  run_bench("--campaign " + spec + " --json --batch 4 --shard 1/2 --out " + s1, &status);
+  ASSERT_EQ(status, 0);
+  run_bench("--campaign " + spec + " --json --batch 4 --shard 2/2 --out " + s2, &status);
+  ASSERT_EQ(status, 0);
+
+  // Age shard 1 by rewriting its stamp two hours into the past.
+  auto snap = sim::Json::parse(read_file(s1));
+  ASSERT_TRUE(snap.has_value());
+  const sim::Json* stamp = snap->find("written_at");
+  ASSERT_NE(stamp, nullptr) << "snapshots must carry written_at";
+  snap->set("written_at", stamp->as_number() - 7200.0);
+  {
+    std::ofstream file(s1, std::ios::trunc);
+    file << snap->dump(2) << "\n";
+  }
+
+  const std::string err = run_tool(RUMOR_MERGE_BINARY,
+                                   "--campaign " + spec + " --out " + merged + " " + s1 + " " +
+                                       s2 + " 2>&1 1>/dev/null",
+                                   &status);
+  EXPECT_EQ(status, 0) << "a stale stamp must not fail the merge:\n" << err;
+  EXPECT_NE(err.find("stale shard"), std::string::npos) << err;
+  EXPECT_NE(err.find("bench_cli_stale1.json"), std::string::npos) << err;
+  EXPECT_TRUE(std::filesystem::exists(merged));
+
+  for (const auto& p : {spec, s1, s2, merged}) std::remove(p.c_str());
+}
+
+TEST(BenchCliObservability, EveryReportCarriesBuildInfo) {
+  int status = 0;
+  const std::string out = run_bench("e3_star --trials 8 --seed 7 --json", &status);
+  EXPECT_EQ(status, 0);
+  const auto parsed = sim::Json::parse(out);
+  ASSERT_TRUE(parsed.has_value());
+  const sim::Json* build = parsed->find("build_info");
+  ASSERT_NE(build, nullptr) << "experiment reports must carry build_info";
+  for (const char* key : {"git_sha", "compiler", "compiler_version", "build_type", "flags"}) {
+    ASSERT_NE(build->find(key), nullptr) << key;
+  }
+}

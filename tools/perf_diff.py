@@ -56,6 +56,31 @@ def load_reports(path):
     return doc if isinstance(doc, list) else [doc]
 
 
+def describe_build(path):
+    """One line naming what produced a report file, from its build_info.
+
+    Reports grew a "build_info" block (git sha, compiler, build type) so
+    that gate failures are attributable: a 3x "regression" that compares a
+    Debug build against a Release baseline is a setup error, not a perf
+    bug, and this diagnostic makes that visible. Reports predating the
+    block yield None and print nothing.
+    """
+    try:
+        reports = load_reports(path)
+    except (OSError, ValueError):
+        return None
+    for report in reports:
+        info = report.get("build_info")
+        if isinstance(info, dict):
+            return (
+                f"{info.get('git_sha', '?')}"
+                f" ({info.get('compiler', '?')} {info.get('compiler_version', '?')},"
+                f" {info.get('build_type', '?')}"
+                f"{', ' + info['flags'] if info.get('flags') else ''})"
+            )
+    return None
+
+
 def find_report(path, experiment):
     for report in load_reports(path):
         if report.get("experiment") == experiment:
@@ -223,6 +248,11 @@ def main():
     except (OSError, ValueError, KeyError) as err:
         print(f"perf_diff: {err}", file=sys.stderr)
         return 2
+
+    for label, path in (("current", args.current), ("baseline", args.baseline)):
+        build = describe_build(path)
+        if build is not None:
+            print(f"({label}: built from {build})")
 
     failures = [(name, why, "regressed") for name, why in
                 diff_e9(current, baseline, args.tolerance)]
