@@ -29,7 +29,7 @@ Graph GraphBuilder::build(std::string name) && {
   std::sort(arcs.begin(), arcs.end());
   arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
 
-  std::vector<std::size_t> offsets(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(num_nodes_) + 1, 0);
   for (const auto& [from, to] : arcs) {
     (void)to;
     ++offsets[static_cast<std::size_t>(from) + 1];

@@ -27,16 +27,39 @@ void write_edge_list_file(const Graph& g, const std::string& path) {
 }
 
 Graph read_edge_list(std::istream& in, std::string name, bool compact_ids) {
+  // Every error names the input (`name` is the path when coming through
+  // read_edge_list_file) and the 1-based line, so a bad row in a
+  // million-line SNAP dump is findable.
+  auto fail = [&](std::size_t line_no, const std::string& what) -> std::runtime_error {
+    return std::runtime_error("read_edge_list: " + name + ": line " + std::to_string(line_no) +
+                              ": " + what);
+  };
+
   std::unordered_map<std::uint64_t, NodeId> remap;
   auto intern = [&](std::uint64_t raw, std::size_t line_no) -> NodeId {
     if (compact_ids) {
-      return remap.emplace(raw, static_cast<NodeId>(remap.size())).first->second;
+      const auto it = remap.emplace(raw, static_cast<NodeId>(remap.size())).first;
+      if (remap.size() > 0xffffffffULL) {
+        throw fail(line_no, "more than 2^32 - 1 distinct node ids");
+      }
+      return it->second;
     }
-    if (raw > 0xffffffffULL) {
-      throw std::runtime_error("read_edge_list: line " + std::to_string(line_no) +
-                               ": id too large (use compact_ids)");
+    // Without compaction n = max id + 1 must itself fit a 32-bit NodeId.
+    if (raw >= 0xffffffffULL) {
+      throw fail(line_no, "id " + std::to_string(raw) + " too large (use compact_ids)");
     }
     return static_cast<NodeId>(raw);
+  };
+
+  auto parse_id = [&](const std::string& token, std::size_t line_no) -> std::uint64_t {
+    if (token.empty() || token.find_first_not_of("0123456789") != std::string::npos) {
+      throw fail(line_no, "malformed node id '" + token + "'");
+    }
+    try {
+      return std::stoull(token);
+    } catch (const std::out_of_range&) {
+      throw fail(line_no, "id " + token + " out of 64-bit range");
+    }
   };
 
   std::string line;
@@ -48,14 +71,14 @@ Graph read_edge_list(std::istream& in, std::string name, bool compact_ids) {
     ++line_no;
     // Strip comments and skip blanks.
     if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r\v\f") == std::string::npos) continue;
     std::istringstream fields(line);
-    std::uint64_t u = 0;
-    std::uint64_t v = 0;
-    if (!(fields >> u)) continue;  // blank after comment strip
-    if (!(fields >> v)) {
-      throw std::runtime_error("read_edge_list: line " + std::to_string(line_no) +
-                               ": expected two node ids");
-    }
+    std::string tu;
+    std::string tv;
+    fields >> tu;
+    if (!(fields >> tv)) throw fail(line_no, "expected two node ids");
+    const std::uint64_t u = parse_id(tu, line_no);
+    const std::uint64_t v = parse_id(tv, line_no);
     edges.emplace_back(intern(u, line_no), intern(v, line_no));
     max_id = std::max({max_id, u, v});
     any = true;

@@ -24,8 +24,11 @@ void write_edge_list_file(const Graph& g, const std::string& path);
 /// are relabelled to [0, n) in first-appearance order (useful for SNAP
 /// dumps with large arbitrary ids). Self-loops and duplicates are dropped
 /// (Graph invariants). Lines starting with '#' and blank lines are
-/// ignored; '#' also starts an inline comment. Throws std::runtime_error
-/// on malformed input or (without compaction) ids >= 2^32.
+/// ignored; '#' also starts an inline comment; tokens after the first two
+/// ids on a line are ignored (weight columns). Throws std::runtime_error —
+/// always naming the input (`name`, the path when reading a file) and the
+/// 1-based line — on malformed ids, a lone id, or (without compaction) ids
+/// >= 2^32 - 1 (n = max id + 1 must fit a 32-bit NodeId).
 [[nodiscard]] Graph read_edge_list(std::istream& in, std::string name = "edge_list",
                                    bool compact_ids = false);
 [[nodiscard]] Graph read_edge_list_file(const std::string& path, bool compact_ids = false);

@@ -18,6 +18,7 @@
 
 #include "core/quasirandom.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph_store.hpp"
 #include "obs/telemetry.hpp"
 #include "rng/rng.hpp"
 #include "sim/checkpoint.hpp"
@@ -30,6 +31,14 @@ using graph::Graph;
 // --- Graph construction from a spec -----------------------------------------
 
 Graph build_graph(const GraphSpec& spec, std::uint64_t fallback_seed) {
+  if (spec.family == "file") {
+    // A packed store: mmap it. Its shape is whatever was packed — n and the
+    // generator params play no role (the parser rejects them up front).
+    if (spec.path.empty()) {
+      throw std::runtime_error("build_graph: graph kind 'file' needs a non-empty path");
+    }
+    return graph::open_graph_store(spec.path);
+  }
   if (spec.n < 2 || spec.n > std::numeric_limits<graph::NodeId>::max()) {
     throw std::runtime_error("build_graph: '" + spec.family + "' needs 2 <= n <= 2^32-1");
   }
@@ -615,6 +624,13 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
     return cfg.race.final_trials != 0 ? cfg.race.final_trials : cfg.trials;
   };
 
+  // Shared read-only graph cache for file-backed configs: every config
+  // naming the same packed store shares one mmap for the whole campaign (the
+  // OS page cache extends the sharing across --shard processes), so N cells
+  // over one giant graph materialize it once — graph_builds records 1, not N.
+  std::mutex file_graph_mutex;
+  std::map<std::string, std::shared_ptr<const Graph>> file_graphs;
+
   auto build_graph_once = [&](std::size_t c, obs::WorkerSink* sink) {
     const CampaignConfig& cfg = configs[c];
     ConfigState& st = states[c];
@@ -624,9 +640,23 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
     // queue before that matters.
     std::call_once(st.build_once, [&] {
       const std::uint64_t build_begin = sink != nullptr ? sink->now_ns() : 0;
-      st.graph = cfg.prebuilt != nullptr
-                     ? cfg.prebuilt
-                     : std::make_shared<const Graph>(build_graph(cfg.graph, cfg.seed));
+      bool opened_store = false;
+      if (cfg.prebuilt != nullptr) {
+        st.graph = cfg.prebuilt;
+      } else if (cfg.graph.family == "file") {
+        // Open under the cache lock: a concurrent config wanting the same
+        // store waits for the first mapping instead of opening its own.
+        const std::lock_guard<std::mutex> lock(file_graph_mutex);
+        auto it = file_graphs.find(cfg.graph.path);
+        if (it == file_graphs.end()) {
+          auto g = std::make_shared<const Graph>(graph::open_graph_store(cfg.graph.path));
+          it = file_graphs.emplace(cfg.graph.path, std::move(g)).first;
+          opened_store = true;
+        }
+        st.graph = it->second;
+      } else {
+        st.graph = std::make_shared<const Graph>(build_graph(cfg.graph, cfg.seed));
+      }
       // Snapshot the built graph's identity: merge needs it to assemble
       // results for configurations whose blocks were split across shards.
       if (recorder != nullptr) recorder->record_graph(c, st.graph->name(), st.graph->num_nodes());
@@ -643,7 +673,11 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
             dynamics::base_edge_list(*st.graph));
       }
       if (sink != nullptr) {
-        sink->metrics.graph_builds += 1;
+        // File-backed configs that hit the cache did not materialize
+        // anything: graph_builds counts mappings/constructions, so N cells
+        // sharing one store contribute exactly one build (the issue's
+        // "materialized once, not N times" acceptance check).
+        if (cfg.graph.family != "file" || opened_store) sink->metrics.graph_builds += 1;
         sink->span("graph:build", build_begin, sink->now_ns(),
                    static_cast<std::uint32_t>(c));
       }
@@ -704,7 +738,12 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
           st.graph.reset();
           st.weighted.reset();
           st.edges.reset();
-          if (metrics != nullptr) metrics->graph_frees += 1;
+          // File-backed graphs are not freed here: the campaign's shared
+          // cache keeps the one mapping alive until the run ends, so only
+          // per-config owned graphs count as frees.
+          if (metrics != nullptr && (cfg.prebuilt != nullptr || cfg.graph.family != "file")) {
+            metrics->graph_frees += 1;
+          }
         }
         break;
       }
@@ -825,7 +864,12 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
           st.graph.reset();
           st.weighted.reset();
           st.edges.reset();
-          if (metrics != nullptr) metrics->graph_frees += 1;
+          // File-backed graphs are not freed here: the campaign's shared
+          // cache keeps the one mapping alive until the run ends, so only
+          // per-config owned graphs count as frees.
+          if (metrics != nullptr && (cfg.prebuilt != nullptr || cfg.graph.family != "file")) {
+            metrics->graph_frees += 1;
+          }
         }
         break;
       }
@@ -1102,6 +1146,61 @@ void apply_dynamics_block(const Json& obj, dynamics::DynamicsSpec& spec, std::st
   prefix_block_error(error, "dynamics: ");
 }
 
+/// The "graph" key: a family-name string, or an object
+/// {"kind": <family> | "file", ...} carrying per-graph parameter overrides.
+/// Kind "file" instead takes "path" (a packed graph store,
+/// graph/graph_store.hpp) and rejects generator parameters — the store
+/// knows its own shape.
+void apply_graph_key(const Json& obj, CampaignConfig& cfg, std::string& error) {
+  if (!error.empty()) return;
+  const Json* g = obj.find("graph");
+  if (g == nullptr) return;
+  if (g->is_string()) {
+    cfg.graph.family = g->as_string();
+    return;
+  }
+  if (!g->is_object()) {
+    error = "key 'graph' must be a family name or an object with 'kind'";
+    return;
+  }
+  static constexpr const char* kGraphKeys[] = {"kind", "path",           "p",
+                                               "degree", "beta", "average_degree",
+                                               "graph_seed"};
+  for (const auto& [key, value] : g->entries()) {
+    if (!known_key(key, kGraphKeys)) {
+      error = "graph: unknown key '" + key + "'";
+      return;
+    }
+  }
+  cfg.graph.family = string_or(*g, "kind", "", error);
+  if (cfg.graph.family.empty() && error.empty()) error = "missing required key 'kind'";
+  cfg.graph.path = string_or(*g, "path", "", error);
+  if (cfg.graph.family == "file") {
+    if (cfg.graph.path.empty() && error.empty()) error = "kind 'file' needs a non-empty 'path'";
+    static constexpr const char* kGeneratorOnly[] = {"p", "degree", "beta", "average_degree",
+                                                     "graph_seed"};
+    for (const char* key : kGeneratorOnly) {
+      if (g->find(key) != nullptr && error.empty()) {
+        error = std::string("key '") + key +
+                "' is not allowed with kind 'file' (the store knows its own shape)";
+      }
+    }
+  } else if (!cfg.graph.path.empty()) {
+    if (error.empty()) error = "key 'path' is only allowed with kind 'file'";
+  } else {
+    cfg.graph.p = number_or(*g, "p", cfg.graph.p, error);
+    if (cfg.graph.p < 0.0 || cfg.graph.p > 1.0) error = "key 'p' must be in [0, 1]";
+    cfg.graph.degree = static_cast<std::uint32_t>(uint_or(*g, "degree", cfg.graph.degree, error));
+    cfg.graph.beta = number_or(*g, "beta", cfg.graph.beta, error);
+    cfg.graph.average_degree = number_or(*g, "average_degree", cfg.graph.average_degree, error);
+    if (cfg.graph.beta <= 0.0 || cfg.graph.average_degree <= 0.0) {
+      error = "keys 'beta' and 'average_degree' must be positive";
+    }
+    cfg.graph.graph_seed = uint_or(*g, "graph_seed", cfg.graph.graph_seed, error);
+  }
+  prefix_block_error(error, "graph: ");
+}
+
 }  // namespace
 
 CampaignSpec parse_campaign_spec(const Json& doc) {
@@ -1226,7 +1325,7 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
 
     CampaignConfig base = proto;
     apply_scalars(entry, base);
-    base.graph.family = string_or(entry, "graph", "", error);
+    apply_graph_key(entry, base, error);
     if (!error.empty()) {
       spec.error = where + ": " + error;
       return spec;
@@ -1235,6 +1334,7 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
       spec.error = where + ": missing required key 'graph'";
       return spec;
     }
+    const bool file_graph = base.graph.family == "file";
     const std::string explicit_id = string_or(entry, "id", "", error);
     if (!error.empty()) {
       spec.error = where + ": " + error;
@@ -1242,22 +1342,30 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
     }
 
     // "n", "engine", and "mode" may be arrays; expand their cross product.
+    // File-backed cells have no "n" (the store knows its own), so their
+    // n-dimension is a single pass-through slot.
     const auto ns = scalar_or_array(entry, "n");
     const auto engines = scalar_or_array(entry, "engine");
     const auto modes = scalar_or_array(entry, "mode");
-    if (ns.empty()) {
+    if (file_graph && !ns.empty()) {
+      spec.error = where + ": key 'n' is not allowed with graph kind 'file' "
+                           "(the store knows its own node count)";
+      return spec;
+    }
+    if (!file_graph && ns.empty()) {
       spec.error = where + ": missing required key 'n'";
       return spec;
     }
-    for (const Json* n_value : ns) {
-      if (!n_value->is_number() || n_value->as_number() < 2.0) {
+    for (std::size_t ni = 0; ni < std::max<std::size_t>(ns.size(), 1); ++ni) {
+      const Json* n_value = ns.empty() ? nullptr : ns[ni];
+      if (n_value != nullptr && (!n_value->is_number() || n_value->as_number() < 2.0)) {
         spec.error = where + ": 'n' entries must be numbers >= 2";
         return spec;
       }
       for (std::size_t ei = 0; ei < std::max<std::size_t>(engines.size(), 1); ++ei) {
         for (std::size_t mi = 0; mi < std::max<std::size_t>(modes.size(), 1); ++mi) {
           CampaignConfig cfg = base;
-          cfg.graph.n = static_cast<std::uint64_t>(n_value->as_number());
+          if (n_value != nullptr) cfg.graph.n = static_cast<std::uint64_t>(n_value->as_number());
           std::string engine_str = default_engine;
           if (!engines.empty()) {
             if (!engines[ei]->is_string()) {
@@ -1297,8 +1405,20 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
           }
           std::string id = explicit_id;
           if (id.empty()) {
-            id = cfg.graph.family + "_n" + std::to_string(cfg.graph.n) + "_" +
-                 engine_name(cfg.engine) + "_" + core::mode_name(cfg.mode);
+            std::string graph_tag = cfg.graph.family + "_n" + std::to_string(cfg.graph.n);
+            if (file_graph) {
+              // Tag by the store's file stem ("file-web" for "data/web.rgs");
+              // two stores with one stem collide below — give explicit ids.
+              std::string stem = cfg.graph.path;
+              if (const auto slash = stem.find_last_of("/\\"); slash != std::string::npos) {
+                stem = stem.substr(slash + 1);
+              }
+              if (const auto dot = stem.rfind('.'); dot != std::string::npos && dot > 0) {
+                stem.resize(dot);
+              }
+              graph_tag = "file-" + stem;
+            }
+            id = graph_tag + "_" + engine_name(cfg.engine) + "_" + core::mode_name(cfg.mode);
             if (cfg.source_policy == SourcePolicy::kRace) id += "_race";
             if (cfg.dynamics.churn.model != dynamics::ChurnModel::kNone) {
               id += std::string("_") + dynamics::churn_model_name(cfg.dynamics.churn.model);

@@ -91,7 +91,12 @@ struct SourceRaceOptions {
 /// from a shared generator stream — so construction is deterministic and
 /// campaigns of thousands of graphs never hold more than the in-flight few.
 struct GraphSpec {
-  std::string family;        // generator name, see build_graph()
+  std::string family;        // generator name (or "file"), see build_graph()
+  /// family == "file": path of a packed graph store (graph/graph_store.hpp)
+  /// opened via mmap instead of generated; n/params are ignored (the store
+  /// knows its own shape) and the scheduler shares one mapping across every
+  /// config naming the same path.
+  std::string path;
   std::uint64_t n = 0;       // requested node count (families round as needed)
   double p = 0.0;            // erdos_renyi edge probability / watts_strogatz rewire
   std::uint32_t degree = 0;  // random_regular d / watts_strogatz k / pa edges_per_node
@@ -228,6 +233,9 @@ struct CampaignResult {
 ///       { "graph": "star", "n": [256, 1024, 4096] },   // arrays expand
 ///       { "graph": "random_regular", "n": 512, "degree": 6,
 ///         "engine": ["sync", "async"], "graph_seed": 42 },
+///       { "graph": {"kind": "file", "path": "web.rgs"} },  // packed store
+///       { "graph": {"kind": "chung_lu", "beta": 2.1,       // object form
+///                   "average_degree": 6}, "n": 10000 },
 ///       { "graph": "star", "n": 512, "source": "race",  // worst-source race
 ///         "race": { "screen_trials": 10, "finalists": 4 } },
 ///       { "graph": "hypercube", "n": 1024,               // churn + weights
@@ -236,7 +244,11 @@ struct CampaignResult {
 ///
 /// "n", "engine", and "mode" accept scalars or arrays; array-valued keys
 /// expand to their cross product, so a compact spec can describe thousands
-/// of configurations. "source" is a node id (fixed policy) or the string
+/// of configurations. "graph" is a family name, or an object
+/// {"kind": <family>, ...family params...} — where kind "file" instead
+/// takes "path" (a packed graph store; "n" and generator params are then
+/// rejected, the store knows its own shape). "source" is a node id (fixed
+/// policy) or the string
 /// "race" (worst-source racing, tuned by the nested "race" block — or the
 /// equivalent flat keys "screen_trials" / "finalists" / "final_trials" /
 /// "max_candidates"). "dynamics" configures churn overlays and weighted

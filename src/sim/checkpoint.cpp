@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "graph/graph_store.hpp"
 #include "obs/telemetry.hpp"
 #include "rng/rng.hpp"
 
@@ -80,6 +81,16 @@ std::string campaign_fingerprint(const std::string& campaign_name,
       put(canon, cfg.prebuilt->name());
       put(canon, static_cast<std::uint64_t>(cfg.prebuilt->num_nodes()));
       put(canon, static_cast<std::uint64_t>(cfg.prebuilt->num_edges()));
+    } else if (cfg.graph.family == "file") {
+      // File-backed graphs are hashed by the store's content identity —
+      // the packed checksum plus shape — never the path: moving or
+      // renaming the store keeps checkpoints valid, while repacking a
+      // different graph at the same path is refused on resume.
+      const graph::GraphStoreInfo info = graph::read_graph_store_info(cfg.graph.path);
+      put(canon, "file");
+      put(canon, hex64(info.checksum));
+      put(canon, info.n);
+      put(canon, info.arcs);
     } else {
       put(canon, cfg.graph.family);
       put(canon, cfg.graph.n);

@@ -1,6 +1,7 @@
 // Smoke tests for the rumor_bench experiment registry: the driver binary
-// must list all seventeen experiments (the fifteen paper experiments plus
-// the e16/e17 dynamics extensions), run one by name with CLI overrides,
+// must list all eighteen experiments (the fifteen paper experiments plus
+// the e16/e17 dynamics and e18 empirical-graph extensions), run one by
+// name with CLI overrides,
 // and emit JSON that parses and carries the documented keys.
 // Also unit-tests the sim::Json document type the reports are built from.
 #include <gtest/gtest.h>
@@ -118,14 +119,15 @@ TEST(Json, RejectsPathologicallyDeepNesting) {
 
 // --- Registry smoke tests via the real binary --------------------------------
 
-TEST(BenchCli, ListNamesAllSeventeenExperiments) {
+TEST(BenchCli, ListNamesAllEighteenExperiments) {
   int status = 0;
   const std::string out = run_bench("--list", &status);
   EXPECT_EQ(status, 0);
   for (const char* name :
        {"e1_overview", "e2_theorem1", "e3_star", "e4_theorem2", "e5_regular", "e6_blocks",
         "e7_chain", "e8_push", "e9_micro", "e10_expansion", "e11_faults", "e12_discretization",
-        "e13_sources", "e14_averaging", "e15_quasirandom", "e16_churn", "e17_weighted"}) {
+        "e13_sources", "e14_averaging", "e15_quasirandom", "e16_churn", "e17_weighted",
+        "e18_empirical"}) {
     EXPECT_NE(out.find(name), std::string::npos) << "missing " << name << " in:\n" << out;
   }
 }
@@ -135,7 +137,7 @@ TEST(BenchCli, ListJsonParsesWithTitles) {
   const auto parsed = sim::Json::parse(out);
   ASSERT_TRUE(parsed.has_value()) << out;
   ASSERT_TRUE(parsed->is_array());
-  ASSERT_EQ(parsed->size(), 17u);
+  ASSERT_EQ(parsed->size(), 18u);
   for (const auto& entry : parsed->elements()) {
     ASSERT_NE(entry.find("experiment"), nullptr);
     ASSERT_NE(entry.find("title"), nullptr);

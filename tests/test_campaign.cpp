@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/rumor.hpp"
+#include "graph/graph_store.hpp"
+#include "obs/telemetry.hpp"
 #include "rng/rng.hpp"
 #include "sim/adversary.hpp"
 #include "sim/campaign.hpp"
@@ -582,4 +586,132 @@ TEST(CampaignReport, EmitsEstablishedSchema) {
   }
   // The report must round-trip through the JSON layer (CI consumers parse it).
   EXPECT_TRUE(sim::Json::parse(report.dump(2)).has_value());
+}
+
+// --- File-backed graphs (packed mmap store) ----------------------------------
+
+namespace {
+
+/// Packs the graph `family_spec` describes and returns the store path.
+std::string pack_spec_graph(const sim::GraphSpec& family_spec, const std::string& tag) {
+  const std::string store =
+      (std::filesystem::temp_directory_path() / ("rumor_test_campaign_" + tag + ".rgs")).string();
+  graph::write_graph_store(sim::build_graph(family_spec, /*fallback_seed=*/1), store);
+  return store;
+}
+
+}  // namespace
+
+TEST(CampaignFileGraph, FileCellByteIdenticalToInMemoryAcrossThreads) {
+  // The tentpole acceptance check: a graph: {kind:"file"} cell must produce
+  // a report byte-identical to the same cell built in memory, at every
+  // thread count.
+  sim::GraphSpec family;
+  family.family = "random_regular";
+  family.n = 80;
+  family.degree = 4;
+  family.graph_seed = 9;
+  const std::string store = pack_spec_graph(family, "cell");
+
+  auto make_cfg = [&](bool file) {
+    sim::CampaignConfig cfg;
+    cfg.id = "cell";
+    if (file) {
+      cfg.graph.family = "file";
+      cfg.graph.path = store;
+    } else {
+      cfg.graph = family;
+    }
+    cfg.trials = 40;
+    cfg.seed = 5;
+    return cfg;
+  };
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    sim::CampaignOptions options;
+    options.threads = threads;
+    options.block_size = 8;
+    const auto mem = sim::run_campaign({make_cfg(false)}, options);
+    const auto file = sim::run_campaign({make_cfg(true)}, options);
+    EXPECT_EQ(sim::campaign_report(mem[0], "camp").dump(2),
+              sim::campaign_report(file[0], "camp").dump(2))
+        << "threads=" << threads;
+  }
+  std::remove(store.c_str());
+}
+
+TEST(CampaignFileGraph, SharedStoreMaterializesOnceAcrossConfigs) {
+  // N configs naming one store share a single mapping: the obs graph_builds
+  // counter must record 1 materialization, not N.
+  sim::GraphSpec family;
+  family.family = "hypercube";
+  family.n = 64;
+  const std::string store = pack_spec_graph(family, "shared");
+
+  std::vector<sim::CampaignConfig> configs;
+  int i = 0;
+  for (const sim::EngineKind engine :
+       {sim::EngineKind::kSync, sim::EngineKind::kAsync, sim::EngineKind::kSync}) {
+    sim::CampaignConfig cfg;
+    cfg.id = "shared" + std::to_string(i);
+    cfg.graph.family = "file";
+    cfg.graph.path = store;
+    cfg.engine = engine;
+    cfg.mode = i == 2 ? core::Mode::kPush : core::Mode::kPushPull;
+    cfg.trials = 12;
+    cfg.seed = 40 + static_cast<std::uint64_t>(i);
+    ++i;
+    configs.push_back(std::move(cfg));
+  }
+
+  obs::Telemetry::Options telemetry_options;
+  obs::Telemetry tel(telemetry_options);
+  sim::CampaignOptions options;
+  options.threads = 2;
+  options.block_size = 4;
+  options.telemetry = &tel;
+  const auto results = sim::run_campaign(configs, options);
+  for (const auto& r : results) EXPECT_EQ(r.n, 64u);
+  const auto snapshot = tel.snapshot();
+  EXPECT_EQ(snapshot.totals.graph_builds, 1u);
+  EXPECT_EQ(snapshot.totals.graph_frees, 0u);  // the shared mapping is never per-config freed
+  std::remove(store.c_str());
+}
+
+TEST(CampaignSpecParsing, GraphObjectFormParsesFileAndFamilyKinds) {
+  const auto spec = parse(R"({"configs": [
+    {"graph": {"kind": "file", "path": "/data/web.rgs"}, "engine": ["sync", "async"]},
+    {"graph": {"kind": "chung_lu", "beta": 2.1, "average_degree": 6}, "n": 500}
+  ]})");
+  ASSERT_TRUE(spec.error.empty()) << spec.error;
+  ASSERT_EQ(spec.configs.size(), 3u);
+  EXPECT_EQ(spec.configs[0].graph.family, "file");
+  EXPECT_EQ(spec.configs[0].graph.path, "/data/web.rgs");
+  EXPECT_EQ(spec.configs[0].id, "file-web_sync_push-pull");  // id from the file stem
+  EXPECT_EQ(spec.configs[1].id, "file-web_async_push-pull");
+  EXPECT_EQ(spec.configs[2].graph.family, "chung_lu");
+  EXPECT_DOUBLE_EQ(spec.configs[2].graph.beta, 2.1);
+  EXPECT_DOUBLE_EQ(spec.configs[2].graph.average_degree, 6.0);
+  EXPECT_EQ(spec.configs[2].graph.n, 500u);
+}
+
+TEST(CampaignSpecParsing, RejectsBadGraphObjects) {
+  const struct {
+    const char* text;
+    const char* expect;
+  } cases[] = {
+      {R"({"configs": [{"graph": {"path": "x.rgs"}, "n": 8}]})", "kind"},
+      {R"({"configs": [{"graph": {"kind": "file"}}]})", "path"},
+      {R"({"configs": [{"graph": {"kind": "file", "path": "x.rgs"}, "n": 8}]})", "'n'"},
+      {R"({"configs": [{"graph": {"kind": "file", "path": "x.rgs", "degree": 3}}]})",
+       "not allowed with kind 'file'"},
+      {R"({"configs": [{"graph": {"kind": "star", "path": "x.rgs"}, "n": 8}]})",
+       "only allowed with kind 'file'"},
+      {R"({"configs": [{"graph": {"kind": "star", "bogus": 1}, "n": 8}]})", "bogus"},
+      {R"({"configs": [{"graph": 7, "n": 8}]})", "must be a family name"},
+  };
+  for (const auto& c : cases) {
+    const auto spec = parse(c.text);
+    ASSERT_FALSE(spec.error.empty()) << c.text;
+    EXPECT_NE(spec.error.find(c.expect), std::string::npos) << spec.error;
+  }
 }

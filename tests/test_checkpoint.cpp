@@ -18,6 +18,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
+#include "graph/graph_store.hpp"
 #include "sim/campaign.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/experiment.hpp"
@@ -433,4 +434,38 @@ TEST(CampaignShard, ShardedRunsResumeToo) {
     return snapshot.dump(2);
   };
   EXPECT_EQ(pin_written_at(resumed.snapshot), pin_written_at(unbroken.snapshot));
+}
+
+TEST(CampaignCheckpoint, FileGraphsFingerprintByContentNotPath) {
+  // A packed store carries its identity in the header checksum, so a
+  // campaign fingerprint must survive moving/renaming the file — and must
+  // change when the file holds a different graph.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path();
+  const fs::path store_a = dir / "rumor_test_fp_a.rgs";
+  const fs::path store_a_copy = dir / "rumor_test_fp_a_renamed.rgs";
+  const fs::path store_b = dir / "rumor_test_fp_b.rgs";
+  {
+    sim::GraphSpec spec;
+    spec.family = "random_regular";
+    spec.n = 60;
+    spec.degree = 4;
+    spec.graph_seed = 11;
+    graph::write_graph_store(sim::build_graph(spec, 1), store_a.string());
+    fs::copy_file(store_a, store_a_copy, fs::copy_options::overwrite_existing);
+    spec.graph_seed = 12;  // same family and shape, different sampled edges
+    graph::write_graph_store(sim::build_graph(spec, 1), store_b.string());
+  }
+  auto fingerprint_of = [](const fs::path& path) {
+    sim::CampaignConfig cfg;
+    cfg.id = "cell";
+    cfg.graph.family = "file";
+    cfg.graph.path = path.string();
+    cfg.trials = 8;
+    cfg.seed = 3;
+    return sim::campaign_fingerprint("snap", {cfg});
+  };
+  EXPECT_EQ(fingerprint_of(store_a), fingerprint_of(store_a_copy));
+  EXPECT_NE(fingerprint_of(store_a), fingerprint_of(store_b));
+  for (const fs::path& p : {store_a, store_a_copy, store_b}) fs::remove(p);
 }
