@@ -69,10 +69,17 @@ AsyncResult run_global_clock(const Graph& g, NodeId source, rng::Engine& eng,
     if (view != nullptr) view->advance_time(now);  // churn epochs track the clock
     const NodeId v = static_cast<NodeId>(rng::uniform_below(eng, n));
     const std::uint32_t deg = view != nullptr ? view->degree(v) : g.degree(v);
-    if (deg == 0) continue;
+    if (deg == 0) {
+      if (options.probe != nullptr) probe_empty_contact(*options.probe);
+      continue;
+    }
     const NodeId w = view != nullptr ? view->sample(v, eng) : g.random_neighbor(v, eng);
-    if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
-    exchange(options.mode, v, w, now, result.informed_time, informed_count);
+    const bool lost = options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss);
+    if (options.probe != nullptr) {
+      probe_instant(*options.probe, options.mode, result.informed_time[v] < now,
+                    result.informed_time[w] < now, lost);
+    }
+    if (!lost) exchange(options.mode, v, w, now, result.informed_time, informed_count);
   }
   result.time = now;
   result.steps = steps;
@@ -101,10 +108,17 @@ AsyncResult run_per_node_clocks(const Graph& g, NodeId source, rng::Engine& eng,
     now = t;
     ++steps;
     clock.emplace(now + rng::exponential(eng, 1.0), v);
-    if (g.degree(v) == 0) continue;
+    if (g.degree(v) == 0) {
+      if (options.probe != nullptr) probe_empty_contact(*options.probe);
+      continue;
+    }
     const NodeId w = g.random_neighbor(v, eng);
-    if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
-    exchange(options.mode, v, w, now, result.informed_time, informed_count);
+    const bool lost = options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss);
+    if (options.probe != nullptr) {
+      probe_instant(*options.probe, options.mode, result.informed_time[v] < now,
+                    result.informed_time[w] < now, lost);
+    }
+    if (!lost) exchange(options.mode, v, w, now, result.informed_time, informed_count);
   }
   result.time = now;
   result.steps = steps;
@@ -148,8 +162,12 @@ AsyncResult run_per_edge_clocks(const Graph& g, NodeId source, rng::Engine& eng,
     ++steps;
     const double rate = 1.0 / static_cast<double>(g.degree(v));
     clock.push(now + rng::exponential(eng, rate), tick.payload);
-    if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
-    exchange(options.mode, v, w, now, result.informed_time, informed_count);
+    const bool lost = options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss);
+    if (options.probe != nullptr) {
+      probe_instant(*options.probe, options.mode, result.informed_time[v] < now,
+                    result.informed_time[w] < now, lost);
+    }
+    if (!lost) exchange(options.mode, v, w, now, result.informed_time, informed_count);
   }
   result.time = now;
   result.steps = steps;
@@ -193,8 +211,12 @@ AsyncResult run_per_edge_clocks_heap(const Graph& g, NodeId source, rng::Engine&
     ++steps;
     const double rate = 1.0 / static_cast<double>(g.degree(tick.v));
     clock.push(EdgeTick{now + rng::exponential(eng, rate), tick.v, tick.w, seq++});
-    if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
-    exchange(options.mode, tick.v, tick.w, now, result.informed_time, informed_count);
+    const bool lost = options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss);
+    if (options.probe != nullptr) {
+      probe_instant(*options.probe, options.mode, result.informed_time[tick.v] < now,
+                    result.informed_time[tick.w] < now, lost);
+    }
+    if (!lost) exchange(options.mode, tick.v, tick.w, now, result.informed_time, informed_count);
   }
   result.time = now;
   result.steps = steps;

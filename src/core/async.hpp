@@ -16,6 +16,7 @@
 #pragma once
 
 #include "core/protocol.hpp"
+#include "core/spread_probe.hpp"
 #include "rng/rng.hpp"
 
 namespace rumor::dynamics {
@@ -48,6 +49,12 @@ struct AsyncOptions {
   /// throws std::runtime_error on other views. Null = the static model,
   /// randomness consumption unchanged.
   dynamics::DynamicGraphView* dynamics = nullptr;
+  /// Spread telemetry (spread_probe.hpp): every event is counted — a tick
+  /// of an isolated node as an empty contact, everything else classified
+  /// useful/wasted per direction at its event time. Null costs one
+  /// predictable check per event; a probe never changes randomness
+  /// consumption or the result.
+  SpreadProbe* probe = nullptr;
 };
 
 /// Runs one asynchronous execution from `source`; reports the time (in time

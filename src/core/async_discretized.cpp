@@ -24,6 +24,8 @@ AsyncResult run_async_discretized(const Graph& g, NodeId source, rng::Engine& en
 
   double now = 0.0;
   std::vector<NodeId> newly;
+  // Probe-only freshness marks for the current slice (cleared at commit).
+  InformedSet probe_pending(options.probe != nullptr ? n : 0);
   while (informed_count < n && now < time_cap) {
     const double slice_end = now + options.dt;
     const std::uint64_t contacts = rng::poisson(eng, static_cast<double>(n) * options.dt);
@@ -31,13 +33,19 @@ AsyncResult run_async_discretized(const Graph& g, NodeId source, rng::Engine& en
     newly.clear();
     for (std::uint64_t c = 0; c < contacts; ++c) {
       const NodeId v = static_cast<NodeId>(rng::uniform_below(eng, n));
-      if (g.degree(v) == 0) continue;
+      if (g.degree(v) == 0) {
+        if (options.probe != nullptr) probe_empty_contact(*options.probe);
+        continue;
+      }
       const NodeId w = g.random_neighbor(v, eng);
       // Evaluate against the slice-start state (informed_time < slice start
       // means informed strictly before this slice; times are quantized to
       // slice ends, so `< slice_end` does it).
       const bool v_in = result.informed_time[v] < slice_end && result.informed_time[v] != kNeverTime;
       const bool w_in = result.informed_time[w] < slice_end && result.informed_time[w] != kNeverTime;
+      if (options.probe != nullptr) {
+        probe_windowed(*options.probe, options.mode, v_in, w_in, false, v, w, probe_pending);
+      }
       if (v_in == w_in) continue;
       switch (options.mode) {
         case Mode::kPush:
@@ -56,6 +64,7 @@ AsyncResult run_async_discretized(const Graph& g, NodeId source, rng::Engine& en
         result.informed_time[v] = slice_end;
         ++informed_count;
       }
+      if (options.probe != nullptr) probe_pending.reset(v);
     }
     now = slice_end;
   }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include "core/protocol.hpp"
+#include "core/spread_probe.hpp"
 #include "rng/rng.hpp"
 
 namespace rumor::core {
@@ -27,6 +28,11 @@ struct DiscretizedOptions {
   double dt = 0.1;
   /// Abort after this much simulated time; 0 derives a cap from n.
   double max_time = 0.0;
+  /// Spread telemetry (spread_probe.hpp): contacts classify against the
+  /// slice-start informed set, with the slice as the freshness window (a
+  /// second contact reaching the same node within one slice is wasted).
+  /// Null costs one predictable check per contact.
+  SpreadProbe* probe = nullptr;
 };
 
 /// Runs the time-sliced approximation from `source`. Reported inform times

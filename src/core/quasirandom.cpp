@@ -3,6 +3,8 @@
 #include <cassert>
 #include <vector>
 
+#include "core/informed_set.hpp"
+
 namespace rumor::core {
 
 SyncResult run_quasirandom(const Graph& g, NodeId source, rng::Engine& eng,
@@ -14,7 +16,6 @@ SyncResult run_quasirandom(const Graph& g, NodeId source, rng::Engine& eng,
   result.informed_round.assign(n, kNeverRound);
   result.informed_round[source] = 0;
   NodeId informed_count = 1;
-  if (options.record_history) result.informed_count_history.push_back(informed_count);
 
   // The model's only randomness: one starting slot per node.
   std::vector<std::uint32_t> start(n, 0);
@@ -28,6 +29,9 @@ SyncResult run_quasirandom(const Graph& g, NodeId source, rng::Engine& eng,
       options.max_rounds != 0 ? options.max_rounds : default_round_cap(n);
 
   std::vector<NodeId> newly;
+  // Probe-only freshness marks for the current round (cleared at commit);
+  // the protocol draws no randomness here, so the probe is purely passive.
+  InformedSet probe_pending(options.probe != nullptr ? n : 0);
   for (std::uint64_t r = 1; informed_count < n && r <= cap; ++r) {
     newly.clear();
     auto informed_before = [&](NodeId v) { return result.informed_round[v] < r; };
@@ -38,6 +42,9 @@ SyncResult run_quasirandom(const Graph& g, NodeId source, rng::Engine& eng,
       const NodeId w = g.neighbor_at(v, slot);
       const bool v_in = informed_before(v);
       const bool w_in = informed_before(w);
+      if (options.probe != nullptr) {
+        probe_windowed(*options.probe, options.mode, v_in, w_in, false, v, w, probe_pending);
+      }
       if (v_in == w_in) continue;
       switch (options.mode) {
         case Mode::kPush:
@@ -60,13 +67,16 @@ SyncResult run_quasirandom(const Graph& g, NodeId source, rng::Engine& eng,
         result.informed_round[v] = r;
         ++informed_count;
       }
+      if (options.probe != nullptr) probe_pending.reset(v);
     }
-    if (options.record_history) result.informed_count_history.push_back(informed_count);
     result.rounds = r;
   }
 
   result.completed = (informed_count == n);
   if (!result.completed) result.rounds = cap;
+  if (options.record_history) {
+    result.informed_count_history = informed_round_curve(result.informed_round, result.rounds);
+  }
   return result;
 }
 

@@ -20,7 +20,10 @@ namespace rumor::core {
 struct QuasirandomOptions {
   Mode mode = Mode::kPushPull;
   std::uint64_t max_rounds = 0;  // 0: same default cap as run_sync
+  /// Alias over the spread-probe history derivation (see SyncOptions).
   bool record_history = false;
+  /// Spread telemetry (spread_probe.hpp); null costs one check per contact.
+  SpreadProbe* probe = nullptr;
 };
 
 /// Runs one synchronous quasirandom execution from `source`: node v's

@@ -57,7 +57,7 @@ enum class ScanKind : std::uint8_t {
 // round's targets (always the uninformed endpoint, so overlap with the
 // committed set is impossible), and the commit is a word-scan that stamps
 // each newly informed node once, exactly like the reference's dedup loop.
-template <Mode M, bool HasLoss, ScanKind K>
+template <Mode M, bool HasLoss, ScanKind K, bool HasProbe>
 void run_rounds(const Graph& g, rng::Engine& eng, const SyncOptions& options,
                 SyncResult& result, NodeId& informed_count, std::uint64_t cap) {
   const NodeId n = g.num_nodes();
@@ -101,7 +101,21 @@ void run_rounds(const Graph& g, rng::Engine& eng, const SyncOptions& options,
         }
         const std::uint64_t v_in = callers & 1u;
         const std::uint64_t w_in = (informed_words[w >> 6] >> (w & 63u)) & 1u;
-        if constexpr (HasLoss) {
+        if constexpr (HasProbe) {
+          // The probe path classifies and updates `pending` in one go:
+          // probe_windowed's test_and_set fires exactly for the writes the
+          // uninstrumented paths below perform (idempotent re-sets and
+          // informed/lost targets set nothing), and the loss Bernoulli is
+          // drawn under the same endpoint condition — so result bits and
+          // randomness consumption are identical with and without a probe.
+          const bool vi = v_in != 0;
+          const bool wi = w_in != 0;
+          bool lost = false;
+          if constexpr (HasLoss) {
+            if (vi != wi) lost = rng::bernoulli(eng, loss);
+          }
+          probe_windowed(*options.probe, M, vi, wi, lost, v, w, pending);
+        } else if constexpr (HasLoss) {
           if (v_in == w_in) continue;  // both or neither informed: no exchange
           if (rng::bernoulli(eng, loss)) continue;
           if constexpr (M == Mode::kPush) {
@@ -130,11 +144,20 @@ void run_rounds(const Graph& g, rng::Engine& eng, const SyncOptions& options,
       }
     }
     // Commit after the scan so every exchange saw the pre-round snapshot.
+    // With a probe attached, pending bits double as the round's freshness
+    // marks; draining here clears them for the next round either way.
     informed_count +=
         informed.absorb_drain(pending, [&](NodeId u) { result.informed_round[u] = r; });
-    if (options.record_history) result.informed_count_history.push_back(informed_count);
     result.rounds = r;
   }
+}
+
+template <Mode M, bool HasLoss, ScanKind K>
+void dispatch_probe(const Graph& g, rng::Engine& eng, const SyncOptions& options,
+                    SyncResult& result, NodeId& informed_count, std::uint64_t cap) {
+  options.probe != nullptr
+      ? run_rounds<M, HasLoss, K, true>(g, eng, options, result, informed_count, cap)
+      : run_rounds<M, HasLoss, K, false>(g, eng, options, result, informed_count, cap);
 }
 
 template <Mode M>
@@ -142,16 +165,16 @@ void dispatch_loss_view(const Graph& g, rng::Engine& eng, const SyncOptions& opt
                         SyncResult& result, NodeId& informed_count, std::uint64_t cap) {
   const bool has_loss = options.message_loss > 0.0;
   if (options.dynamics != nullptr) {
-    has_loss ? run_rounds<M, true, ScanKind::kView>(g, eng, options, result, informed_count, cap)
-             : run_rounds<M, false, ScanKind::kView>(g, eng, options, result, informed_count, cap);
+    has_loss ? dispatch_probe<M, true, ScanKind::kView>(g, eng, options, result, informed_count, cap)
+             : dispatch_probe<M, false, ScanKind::kView>(g, eng, options, result, informed_count, cap);
   } else if (g.num_nodes() > 0 && g.degree(0) > 0 && g.is_regular()) {
     has_loss
-        ? run_rounds<M, true, ScanKind::kRegular>(g, eng, options, result, informed_count, cap)
-        : run_rounds<M, false, ScanKind::kRegular>(g, eng, options, result, informed_count, cap);
+        ? dispatch_probe<M, true, ScanKind::kRegular>(g, eng, options, result, informed_count, cap)
+        : dispatch_probe<M, false, ScanKind::kRegular>(g, eng, options, result, informed_count, cap);
   } else {
     has_loss
-        ? run_rounds<M, true, ScanKind::kStatic>(g, eng, options, result, informed_count, cap)
-        : run_rounds<M, false, ScanKind::kStatic>(g, eng, options, result, informed_count, cap);
+        ? dispatch_probe<M, true, ScanKind::kStatic>(g, eng, options, result, informed_count, cap)
+        : dispatch_probe<M, false, ScanKind::kStatic>(g, eng, options, result, informed_count, cap);
   }
 }
 
@@ -165,7 +188,6 @@ SyncResult run_sync(const Graph& g, NodeId source, rng::Engine& eng,
   SyncResult result;
   result.informed_round.assign(n, kNeverRound);
   NodeId informed_count = seed_sources(source, options, result);
-  if (options.record_history) result.informed_count_history.push_back(informed_count);
 
   const std::uint64_t cap =
       options.max_rounds != 0 ? options.max_rounds : default_round_cap(n);
@@ -184,6 +206,9 @@ SyncResult run_sync(const Graph& g, NodeId source, rng::Engine& eng,
 
   result.completed = (informed_count == n);
   if (!result.completed) result.rounds = cap;
+  if (options.record_history) {
+    result.informed_count_history = informed_round_curve(result.informed_round, result.rounds);
+  }
   return result;
 }
 
@@ -195,7 +220,6 @@ SyncResult run_sync_reference(const Graph& g, NodeId source, rng::Engine& eng,
   SyncResult result;
   result.informed_round.assign(n, kNeverRound);
   NodeId informed_count = seed_sources(source, options, result);
-  if (options.record_history) result.informed_count_history.push_back(informed_count);
 
   const std::uint64_t cap =
       options.max_rounds != 0 ? options.max_rounds : default_round_cap(n);
@@ -205,6 +229,10 @@ SyncResult run_sync_reference(const Graph& g, NodeId source, rng::Engine& eng,
   // same array doubles as the pre-round snapshot.
   dynamics::DynamicGraphView* const view = options.dynamics;
   std::vector<NodeId> newly_informed;
+  // Probe-only freshness marks for the current round; the commit loop
+  // clears them. The scan itself keeps stamping through newly_informed, so
+  // attaching a probe cannot change the reference's behavior.
+  InformedSet probe_pending(options.probe != nullptr ? n : 0);
   for (std::uint64_t r = 1; informed_count < n && r <= cap; ++r) {
     if (view != nullptr) view->begin_round(r);  // churn applies between rounds
     newly_informed.clear();
@@ -216,8 +244,15 @@ SyncResult run_sync_reference(const Graph& g, NodeId source, rng::Engine& eng,
       const NodeId w = view != nullptr ? view->sample(v, eng) : g.random_neighbor(v, eng);
       const bool v_in = informed_before(v);
       const bool w_in = informed_before(w);
+      // Same draw condition as below, hoisted so the probe can see the lost
+      // flag: randomness consumption is unchanged.
+      const bool lost = v_in != w_in && options.message_loss > 0.0 &&
+                        rng::bernoulli(eng, options.message_loss);
+      if (options.probe != nullptr) {
+        probe_windowed(*options.probe, options.mode, v_in, w_in, lost, v, w, probe_pending);
+      }
       if (v_in == w_in) continue;  // both or neither informed: no exchange
-      if (options.message_loss > 0.0 && rng::bernoulli(eng, options.message_loss)) continue;
+      if (lost) continue;
       switch (options.mode) {
         case Mode::kPush:
           if (v_in && result.informed_round[w] == kNeverRound) newly_informed.push_back(w);
@@ -241,13 +276,16 @@ SyncResult run_sync_reference(const Graph& g, NodeId source, rng::Engine& eng,
         result.informed_round[v] = r;
         ++informed_count;
       }
+      if (options.probe != nullptr) probe_pending.reset(v);
     }
-    if (options.record_history) result.informed_count_history.push_back(informed_count);
     result.rounds = r;
   }
 
   result.completed = (informed_count == n);
   if (!result.completed) result.rounds = cap;
+  if (options.record_history) {
+    result.informed_count_history = informed_round_curve(result.informed_round, result.rounds);
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "core/protocol.hpp"
+#include "core/spread_probe.hpp"
 #include "rng/rng.hpp"
 
 namespace rumor::dynamics {
@@ -27,7 +28,16 @@ struct SyncOptions {
   /// hanging.
   std::uint64_t max_rounds = 0;
   /// Record |informed| after every round into informed_count_history.
+  /// Thin alias over the spread-probe layer: the history is derived from
+  /// informed_round after the run (spread_probe.hpp), bit-identical to the
+  /// old in-loop recording.
   bool record_history = false;
+  /// Spread telemetry (spread_probe.hpp): when set, every contact is
+  /// counted and its transmissions classified useful/wasted per direction.
+  /// Null costs nothing — the instrumented scan is a separate template
+  /// instantiation. A probe never changes randomness consumption or the
+  /// result; counters accumulate across runs unless the caller resets them.
+  SpreadProbe* probe = nullptr;
   /// Fault injection (extension): each contact independently carries no
   /// rumor with this probability — a lossy channel in the spirit of the
   /// protocol's original fault-tolerant applications [7, 26]. A loss

@@ -114,16 +114,41 @@ dynamics::DynamicsSpec resolved_dynamics(const CampaignConfig& cfg) noexcept {
   return spec;
 }
 
+/// Folds one trial's probe counters plus its tick count (rounds for round
+/// grids, events for time grids) and final informed count into the
+/// configuration's exact contact totals. The tick definition mirrors what
+/// run_one adds to WorkerMetrics, so the obs registry cross-check in
+/// rumor_bench can compare the two sums exactly.
+void fold_probe(stats::ContactTotals& totals, const core::SpreadProbe& probe,
+                std::uint64_t ticks, std::uint64_t informed) noexcept {
+  totals.contacts += probe.contacts;
+  totals.useful_push += probe.useful_push;
+  totals.useful_pull += probe.useful_pull;
+  totals.wasted_push += probe.wasted_push;
+  totals.wasted_pull += probe.wasted_pull;
+  totals.empty_contacts += probe.empty_contacts;
+  totals.ticks += ticks;
+  totals.informed_total += informed;
+}
+
 /// One execution of the configured protocol from `source`; the campaign
 /// analogue of the measure_* wrappers in harness.cpp. The trial engine is
 /// derive_stream(stream_seed, trial); a non-static dynamics spec adds a
 /// per-trial overlay view whose churn streams derive from the same
 /// (stream_seed, trial) identity, so dynamic configurations keep the
 /// bit-determinism contract across thread counts and block sizes.
+///
+/// Spread telemetry: when `curve_out` is non-null the trial runs with a
+/// core::SpreadProbe attached (never changing its randomness or result),
+/// `curve_out` receives the informed-count curve on the configuration's
+/// native grid — per round for sync/quasirandom, per cfg.curves.time_bucket
+/// for async — and the probe counters fold into `totals`.
 double run_one(const CampaignConfig& cfg, const Graph& g,
                const dynamics::NeighborAliasTable* shared_weighted,
                const std::vector<graph::Edge>* shared_edges, graph::NodeId source,
-               std::uint64_t stream_seed, std::uint64_t trial, obs::WorkerMetrics* metrics) {
+               std::uint64_t stream_seed, std::uint64_t trial, obs::WorkerMetrics* metrics,
+               std::vector<double>* curve_out = nullptr,
+               stats::ContactTotals* totals = nullptr) {
   rng::Engine eng = rng::derive_stream(stream_seed, trial);
   std::optional<dynamics::DynamicGraphView> view;
   dynamics::DynamicGraphView* view_ptr = nullptr;
@@ -131,18 +156,28 @@ double run_one(const CampaignConfig& cfg, const Graph& g,
     view.emplace(g, resolved_dynamics(cfg), shared_weighted, stream_seed, trial, shared_edges);
     view_ptr = &*view;
   }
+  core::SpreadProbe probe;
   switch (cfg.engine) {
     case EngineKind::kSync: {
       core::SyncOptions options;
       options.mode = cfg.mode;
       options.message_loss = cfg.message_loss;
       options.dynamics = view_ptr;
+      if (curve_out != nullptr) {
+        options.record_history = true;
+        options.probe = &probe;
+      }
       const auto result = core::run_sync(g, source, eng, options);
       if (!result.completed) {
         throw std::runtime_error(
             "campaign: run_sync hit the round cap (disconnected or churned-out graph?)");
       }
       if (metrics != nullptr) metrics->sync_rounds += result.rounds;
+      if (curve_out != nullptr) {
+        curve_out->assign(result.informed_count_history.begin(),
+                          result.informed_count_history.end());
+        fold_probe(*totals, probe, result.rounds, g.num_nodes());
+      }
       return static_cast<double>(result.rounds);
     }
     case EngineKind::kAsync: {
@@ -151,15 +186,25 @@ double run_one(const CampaignConfig& cfg, const Graph& g,
       options.view = cfg.view;
       options.message_loss = cfg.message_loss;
       options.dynamics = view_ptr;
+      if (curve_out != nullptr) options.probe = &probe;
       const auto result = core::run_async(g, source, eng, options);
       if (!result.completed) {
         throw std::runtime_error(
             "campaign: run_async hit the step cap (disconnected or churned-out graph?)");
       }
       if (metrics != nullptr) metrics->async_events += result.steps;
+      if (curve_out != nullptr) {
+        const auto curve =
+            core::informed_time_curve(result.informed_time, cfg.curves.time_bucket);
+        curve_out->assign(curve.begin(), curve.end());
+        fold_probe(*totals, probe, result.steps, g.num_nodes());
+      }
       return result.time;
     }
     case EngineKind::kAux: {
+      if (curve_out != nullptr) {
+        throw std::runtime_error("campaign: curves are not supported for engine 'aux'");
+      }
       core::AuxOptions options;
       options.kind = cfg.aux;
       const auto result = core::run_aux(g, source, eng, options);
@@ -172,12 +217,21 @@ double run_one(const CampaignConfig& cfg, const Graph& g,
     case EngineKind::kQuasirandom: {
       core::QuasirandomOptions options;
       options.mode = cfg.mode;
+      if (curve_out != nullptr) {
+        options.record_history = true;
+        options.probe = &probe;
+      }
       const auto result = core::run_quasirandom(g, source, eng, options);
       if (!result.completed) {
         throw std::runtime_error(
             "campaign: run_quasirandom hit the round cap (disconnected graph?)");
       }
       if (metrics != nullptr) metrics->sync_rounds += result.rounds;
+      if (curve_out != nullptr) {
+        curve_out->assign(result.informed_count_history.begin(),
+                          result.informed_count_history.end());
+        fold_probe(*totals, probe, result.rounds, g.num_nodes());
+      }
       return static_cast<double>(result.rounds);
     }
   }
@@ -268,6 +322,11 @@ struct ConfigState {
   std::shared_ptr<const std::vector<graph::Edge>> edges;
   // Fixed-source pass (also the refine pass reuses refine_* below).
   std::vector<stats::StreamingSummary> partials;
+  /// Spread telemetry (cfg.curves.enabled only): per-slot curve and
+  /// contact partials, parallel to `partials` and folded in the same slot
+  /// order by the same last-block worker.
+  std::vector<stats::CurveAccumulator> curve_partials;
+  std::vector<stats::ContactTotals> contact_partials;
   std::atomic<std::uint64_t> blocks_left{0};
   // Race state, populated by the kPlan block.
   std::vector<graph::NodeId> candidates;
@@ -382,6 +441,8 @@ CampaignResult campaign_result_skeleton(const CampaignConfig& cfg, std::size_t i
           : cfg.trials;
   r.trials = measured_trials;
   r.hp_q = cfg.hp_q > 0.0 ? cfg.hp_q : 1.0 / static_cast<double>(measured_trials);
+  r.has_curves = cfg.curves.enabled;
+  r.curves_spec = cfg.curves;
   return r;
 }
 
@@ -424,6 +485,9 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
   auto summary_opts = [&](const CampaignConfig& cfg) {
     return summary_options_for(cfg, options.sketch_capacity, options.reservoir_capacity);
   };
+  auto curve_opts = [&](const CampaignConfig& cfg) {
+    return curve_options_for(cfg, options.sketch_capacity);
+  };
 
   std::vector<Block> initial;
   std::vector<ConfigState> states(configs.size());
@@ -463,6 +527,27 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
           cfg.dynamics.weights.alpha <= 0.0) {
         throw std::runtime_error("campaign: configuration '" + r.id +
                                  "' has out-of-range dynamics parameters");
+      }
+    }
+    if (cfg.curves.enabled) {
+      // Same guarantees the spec parser enforces, for API callers handing
+      // in configs directly.
+      if (cfg.engine == EngineKind::kAux) {
+        throw std::runtime_error("campaign: configuration '" + r.id +
+                                 "' requests curves but engine 'aux' has no contact structure");
+      }
+      if (cfg.source_policy == SourcePolicy::kRace) {
+        throw std::runtime_error("campaign: configuration '" + r.id +
+                                 "' requests curves with a raced source (curves need a fixed "
+                                 "source)");
+      }
+      if (cfg.curves.points == 0) {
+        throw std::runtime_error("campaign: configuration '" + r.id +
+                                 "' has curves.points == 0");
+      }
+      if (cfg.engine == EngineKind::kAsync && !(cfg.curves.time_bucket > 0.0)) {
+        throw std::runtime_error("campaign: configuration '" + r.id +
+                                 "' has curves.time_bucket <= 0");
       }
     }
     if (cfg.source_policy == SourcePolicy::kRace) {
@@ -569,14 +654,26 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
         r.graph_name = rest.graph_name;
         r.n = rest.n;
         r.summary = stats::StreamingSummary::restored(summary_opts(cfg), rest.summary);
+        if (cfg.curves.enabled) {
+          r.curves = stats::CurveAccumulator::restored(curve_opts(cfg), rest.curves);
+          r.contacts = rest.contacts;
+        }
         continue;
       }
       const std::size_t slots = slot_count(cfg.trials, block_size);
       st.partials.resize(slots);
+      if (cfg.curves.enabled) {
+        st.curve_partials.resize(slots);
+        st.contact_partials.resize(slots);
+      }
       std::vector<char> done_slot(slots, 0);
       for (const auto& [slot, state] : rest.trial_slots) {
         st.partials[slot] = stats::StreamingSummary::restored(summary_opts(cfg), state);
         done_slot[slot] = 1;
+      }
+      for (const auto& [slot, state, totals] : rest.curve_slots) {
+        st.curve_partials[slot] = stats::CurveAccumulator::restored(curve_opts(cfg), state);
+        st.contact_partials[slot] = totals;
       }
       std::size_t owned = 0;
       std::vector<Block> missing;
@@ -705,15 +802,28 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
                                    std::to_string(cfg.source) + " is out of range for " +
                                    g.name());
         }
+        const bool curves_on = cfg.curves.enabled;
         stats::StreamingSummary partial(summary_opts(cfg));
+        stats::CurveAccumulator curve_partial(curves_on ? curve_opts(cfg)
+                                                        : stats::CurveAccumulator::Options{});
+        stats::ContactTotals contact_partial;
+        std::vector<double> curve;
         for (std::uint64_t t = block.begin; t < block.end; ++t) {
           partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), cfg.source, cfg.seed, t,
-                              metrics),
+                              metrics, curves_on ? &curve : nullptr,
+                              curves_on ? &contact_partial : nullptr),
                       t);
+          if (curves_on) curve_partial.add(curve);
         }
         st.partials[block.slot] = std::move(partial);
+        if (curves_on) {
+          st.curve_partials[block.slot] = std::move(curve_partial);
+          st.contact_partials[block.slot] = contact_partial;
+        }
         if (recorder != nullptr) {
-          recorder->record_trial_slot(block.config, block.slot, st.partials[block.slot]);
+          recorder->record_trial_slot(block.config, block.slot, st.partials[block.slot],
+                                      curves_on ? &st.curve_partials[block.slot] : nullptr,
+                                      curves_on ? &st.contact_partials[block.slot] : nullptr);
         }
         if (st.blocks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           // Last owned block of this configuration: fold partials in slot
@@ -724,6 +834,16 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
             const std::uint64_t merge_begin = sink != nullptr ? sink->now_ns() : 0;
             stats::StreamingSummary total = std::move(st.partials.front());
             for (std::size_t s = 1; s < st.partials.size(); ++s) total.merge(st.partials[s]);
+            if (curves_on) {
+              stats::CurveAccumulator curve_total = std::move(st.curve_partials.front());
+              stats::ContactTotals contact_total = st.contact_partials.front();
+              for (std::size_t s = 1; s < st.curve_partials.size(); ++s) {
+                curve_total.merge(st.curve_partials[s]);
+                contact_total.merge(st.contact_partials[s]);
+              }
+              r.curves = std::move(curve_total);
+              r.contacts = contact_total;
+            }
             r.graph_name = g.name();
             r.n = g.num_nodes();
             r.summary = std::move(total);
@@ -735,6 +855,10 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
           }
           st.partials.clear();
           st.partials.shrink_to_fit();
+          st.curve_partials.clear();
+          st.curve_partials.shrink_to_fit();
+          st.contact_partials.clear();
+          st.contact_partials.shrink_to_fit();
           st.graph.reset();
           st.weighted.reset();
           st.edges.reset();
@@ -1051,7 +1175,7 @@ constexpr const char* kKnownKeys[] = {
     "average_degree", "graph_seed", "engine", "mode", "view", "aux",
     "source", "trials", "seed", "hp_q",    "reservoir_capacity",
     "message_loss", "screen_trials", "finalists", "final_trials", "max_candidates",
-    "race", "dynamics",
+    "race", "dynamics", "curves",
 };
 
 template <std::size_t N>
@@ -1094,6 +1218,35 @@ void apply_race_block(const Json& obj, SourceRaceOptions& race, std::string& err
   race.max_candidates =
       static_cast<std::uint32_t>(uint_or(*block, "max_candidates", race.max_candidates, error));
   prefix_block_error(error, "race: ");
+}
+
+/// The nested `curves` block (spread telemetry): its presence enables
+/// per-round/per-time informed-count curve and contact accounting for the
+/// cell. {"points": <grid length>, "time_bucket": <async bucket width>}.
+void apply_curves_block(const Json& obj, CurveSpec& curves, std::string& error) {
+  // Bail on a pre-existing error: prefix_block_error below must only ever
+  // label errors that actually originated inside this block.
+  if (!error.empty()) return;
+  const Json* block = obj.find("curves");
+  if (block == nullptr) return;
+  if (!block->is_object()) {
+    error = "key 'curves' must be an object";
+    return;
+  }
+  static constexpr const char* kCurvesKeys[] = {"points", "time_bucket"};
+  for (const auto& [key, value] : block->entries()) {
+    if (!known_key(key, kCurvesKeys)) {
+      error = "curves: unknown key '" + key + "'";
+      return;
+    }
+  }
+  curves.enabled = true;
+  curves.points =
+      static_cast<std::uint32_t>(uint_or(*block, "points", curves.points, error));
+  if (curves.points == 0) error = "key 'points' must be >= 1";
+  curves.time_bucket = number_or(*block, "time_bucket", curves.time_bucket, error);
+  if (!(curves.time_bucket > 0.0)) error = "key 'time_bucket' must be > 0";
+  prefix_block_error(error, "curves: ");
 }
 
 /// The nested `dynamics` block: churn model + parameters and weight model
@@ -1258,6 +1411,7 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
       error = "key 'message_loss' must be in [0, 1)";
     }
     apply_dynamics_block(obj, cfg.dynamics, error);
+    apply_curves_block(obj, cfg.curves, error);
     cfg.hp_q = number_or(obj, "hp_q", cfg.hp_q, error);
     if (cfg.hp_q < 0.0 || cfg.hp_q >= 1.0) error = "key 'hp_q' must be in [0, 1)";
     cfg.reservoir_capacity =
@@ -1403,6 +1557,19 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
               return spec;
             }
           }
+          if (cfg.curves.enabled) {
+            // Curves need a contact structure to classify and one fixed
+            // trial population per cell; caught here so the message can cite
+            // the spec entry (run_campaign re-checks for API callers).
+            if (cfg.engine == EngineKind::kAux) {
+              spec.error = where + ": 'curves' is not supported for engine 'aux'";
+              return spec;
+            }
+            if (cfg.source_policy == SourcePolicy::kRace) {
+              spec.error = where + ": 'curves' needs a fixed source (not \"race\")";
+              return spec;
+            }
+          }
           std::string id = explicit_id;
           if (id.empty()) {
             std::string graph_tag = cfg.graph.family + "_n" + std::to_string(cfg.graph.n);
@@ -1514,6 +1681,80 @@ Json campaign_report(const CampaignResult& result, const std::string& campaign_n
     stats.set("worst_source", result.source);
     stats.set("best_source", result.best_source);
     stats.set("best_mean", result.best_mean);
+  }
+  if (result.has_curves) {
+    // Spread telemetry: mean/band informed-count curves on the config's
+    // grid, the derived phase decomposition, and exact contact totals. Only
+    // present when the config enabled curves, so plain reports keep their
+    // exact pre-existing key set.
+    const stats::CurveAccumulator& c = result.curves;
+    const bool time_grid = result.engine == "async";
+    const double step = time_grid ? result.curves_spec.time_bucket : 1.0;
+    Json curves = Json::object();
+    curves.set("grid", time_grid ? "time" : "rounds");
+    curves.set("time_bucket", time_grid ? Json(result.curves_spec.time_bucket) : Json());
+    curves.set("points", static_cast<std::uint64_t>(c.points()));
+    curves.set("trials", c.trials());
+    curves.set("max_len", c.max_len());
+    // Fixed-source cells start with exactly one informed node; the
+    // conservation check needs the count explicit.
+    curves.set("sources", 1);
+    Json mean = Json::array();
+    Json stddev = Json::array();
+    Json p10 = Json::array();
+    Json p50 = Json::array();
+    Json p90 = Json::array();
+    for (std::size_t k = 0; k < c.points(); ++k) {
+      mean.push_back(c.mean_at(k));
+      stddev.push_back(c.stddev_at(k));
+      p10.push_back(c.quantile_at(k, 0.10));
+      p50.push_back(c.quantile_at(k, 0.50));
+      p90.push_back(c.quantile_at(k, 0.90));
+    }
+    curves.set("mean", std::move(mean));
+    curves.set("stddev", std::move(stddev));
+    curves.set("p10", std::move(p10));
+    curves.set("p50", std::move(p50));
+    curves.set("p90", std::move(p90));
+    // Phase decomposition of the mean curve: startup until 10% informed,
+    // exponential growth until 90%, shrink until everyone (n - 0.5 guards
+    // against float fuzz in the mean of integer counts). A threshold the
+    // grid never reaches renders as null — the curve was cut short.
+    const double nn = static_cast<double>(result.n);
+    auto first_reach = [&](double threshold) -> Json {
+      for (std::size_t k = 0; k < c.points(); ++k) {
+        if (c.mean_at(k) >= threshold) return Json(static_cast<double>(k) * step);
+      }
+      return Json();
+    };
+    const Json startup_end = first_reach(0.1 * nn);
+    const Json growth_end = first_reach(0.9 * nn);
+    const Json spread_end = first_reach(nn - 0.5);
+    Json phases = Json::object();
+    phases.set("startup_end", startup_end);
+    phases.set("growth_end", growth_end);
+    phases.set("spread_end", spread_end);
+    phases.set("startup_duration", startup_end);
+    phases.set("growth_duration",
+               !startup_end.is_null() && !growth_end.is_null()
+                   ? Json(growth_end.as_number() - startup_end.as_number())
+                   : Json());
+    phases.set("shrink_duration", !growth_end.is_null() && !spread_end.is_null()
+                                      ? Json(spread_end.as_number() - growth_end.as_number())
+                                      : Json());
+    curves.set("phases", std::move(phases));
+    const stats::ContactTotals& t = result.contacts;
+    Json contacts = Json::object();
+    contacts.set("contacts", t.contacts);
+    contacts.set("useful_push", t.useful_push);
+    contacts.set("useful_pull", t.useful_pull);
+    contacts.set("wasted_push", t.wasted_push);
+    contacts.set("wasted_pull", t.wasted_pull);
+    contacts.set("empty_contacts", t.empty_contacts);
+    contacts.set("ticks", t.ticks);
+    contacts.set("informed_total", t.informed_total);
+    curves.set("contacts", std::move(contacts));
+    stats.set("curves", std::move(curves));
   }
   report.set("stats", std::move(stats));
 

@@ -33,6 +33,7 @@
 #include "core/sync.hpp"
 #include "dynamics/churn.hpp"
 #include "graph/graph.hpp"
+#include "stats/curves.hpp"
 #include "stats/streaming.hpp"
 
 namespace rumor::obs {
@@ -111,6 +112,24 @@ struct GraphSpec {
 /// `fallback_seed` seeds random families when spec.graph_seed == 0.
 [[nodiscard]] graph::Graph build_graph(const GraphSpec& spec, std::uint64_t fallback_seed);
 
+/// Spread-telemetry request for one configuration (the campaign face of
+/// core::SpreadProbe + stats::CurveAccumulator). Off by default: with
+/// enabled == false the trial path passes no probe and campaign output is
+/// byte-identical to a build that predates the feature. Curves require a
+/// fixed source (racing interleaves two trial populations whose curves
+/// would not be comparable) and a sync/async/quasirandom engine (the aux
+/// processes have no contact structure to classify); parse_campaign_spec
+/// rejects the invalid combinations with an error naming the key.
+struct CurveSpec {
+  bool enabled = false;
+  /// Grid length: point k is round k (sync/quasirandom) or time
+  /// k * time_bucket (async). Trials past the grid still count via the
+  /// accumulator's absorbing-extension rule and max_len.
+  std::uint32_t points = 64;
+  /// Time-grid bucket width for async engines; ignored by round grids.
+  double time_bucket = 1.0;
+};
+
 /// One (graph, protocol, trial-count) cell of a campaign.
 struct CampaignConfig {
   std::string id;   // stable report id; auto-derived from the spec if empty
@@ -144,6 +163,10 @@ struct CampaignConfig {
   /// Per-config reservoir override (0 = CampaignOptions default). Configs
   /// needing exact samples downstream (e.g. KS tests) set this >= trials.
   std::size_t reservoir_capacity = 0;
+  /// Spread telemetry: per-trial informed-count curves and contact
+  /// classification, reduced like the summary (per-block partials merged in
+  /// slot order, so bit-identical across thread counts and resumable).
+  CurveSpec curves;
 };
 
 struct CampaignOptions {
@@ -204,6 +227,13 @@ struct CampaignResult {
   double best_mean = 0.0;         // kRace: its refined mean
   dynamics::DynamicsSpec dynamics;  // resolved copy (seed never 0 when active)
   stats::StreamingSummary summary;
+  /// Spread telemetry (CurveSpec; only meaningful when has_curves). The
+  /// accumulator's grid is rounds for sync/quasirandom engines and
+  /// time buckets of curves_spec.time_bucket for async.
+  bool has_curves = false;
+  CurveSpec curves_spec;
+  stats::CurveAccumulator curves;
+  stats::ContactTotals contacts;
 };
 
 /// Runs every configuration's trials over one shared block queue. Results
@@ -240,7 +270,9 @@ struct CampaignResult {
 ///         "race": { "screen_trials": 10, "finalists": 4 } },
 ///       { "graph": "hypercube", "n": 1024,               // churn + weights
 ///         "dynamics": { "churn": "markov", "birth": 0.05, "death": 0.05,
-///                       "weights": "heavy_tailed", "weight_alpha": 1.5 } } ] }
+///                       "weights": "heavy_tailed", "weight_alpha": 1.5 } },
+///       { "graph": "hypercube", "n": 1024,               // spread telemetry
+///         "curves": { "points": 96, "time_bucket": 0.25 } } ] }
 ///
 /// "n", "engine", and "mode" accept scalars or arrays; array-valued keys
 /// expand to their cross product, so a compact spec can describe thousands
@@ -252,8 +284,12 @@ struct CampaignResult {
 /// "race" (worst-source racing, tuned by the nested "race" block — or the
 /// equivalent flat keys "screen_trials" / "finalists" / "final_trials" /
 /// "max_candidates"). "dynamics" configures churn overlays and weighted
-/// contact rates; unknown keys inside the nested blocks are rejected with
-/// an error naming the key. See bench/README.md for the full reference.
+/// contact rates. A "curves" block ({"points", "time_bucket"}) enables
+/// spread telemetry — informed-count curves, phase decomposition, and
+/// contact accounting under the report's stats.curves — and requires a
+/// sync/async/quasirandom engine with a fixed source. Unknown keys inside
+/// the nested blocks are rejected with an error naming the key. See
+/// bench/README.md for the full reference.
 struct CampaignSpec {
   std::string name;  // defaults to "campaign"
   std::vector<CampaignConfig> configs;

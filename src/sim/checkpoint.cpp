@@ -123,6 +123,14 @@ std::string campaign_fingerprint(const std::string& campaign_name,
     put(canon, cfg.seed);
     put(canon, cfg.hp_q);
     put(canon, static_cast<std::uint64_t>(cfg.reservoir_capacity));
+    if (cfg.curves.enabled) {
+      // Appended only when the cell records curves, so every fingerprint of
+      // a curve-free spec — including all pre-existing snapshots — is
+      // unchanged.
+      put(canon, "curves");
+      put(canon, static_cast<std::uint64_t>(cfg.curves.points));
+      put(canon, cfg.curves.time_bucket);
+    }
     canon += '\n';
   }
   return hex64(fnv1a(canon));
@@ -149,6 +157,14 @@ stats::StreamingSummary::Options summary_options_for(const CampaignConfig& cfg,
   options.reservoir_capacity =
       cfg.reservoir_capacity != 0 ? cfg.reservoir_capacity : reservoir_capacity;
   options.reservoir_salt = cfg.seed;
+  return options;
+}
+
+stats::CurveAccumulator::Options curve_options_for(const CampaignConfig& cfg,
+                                                   std::size_t sketch_capacity) {
+  stats::CurveAccumulator::Options options;
+  options.points = cfg.curves.points;
+  options.sketch_capacity = sketch_capacity;
   return options;
 }
 
@@ -306,6 +322,67 @@ stats::StreamingSummary::State summary_from_json(const Json& o, const std::strin
   return s;
 }
 
+Json totals_to_json(const stats::ContactTotals& t) {
+  Json o = Json::object();
+  o.set("contacts", t.contacts);
+  o.set("useful_push", t.useful_push);
+  o.set("useful_pull", t.useful_pull);
+  o.set("wasted_push", t.wasted_push);
+  o.set("wasted_pull", t.wasted_pull);
+  o.set("empty_contacts", t.empty_contacts);
+  o.set("ticks", t.ticks);
+  o.set("informed_total", t.informed_total);
+  return o;
+}
+
+stats::ContactTotals totals_from_json(const Json& o, const std::string& ctx) {
+  stats::ContactTotals t;
+  t.contacts = req_uint(o, "contacts", ctx);
+  t.useful_push = req_uint(o, "useful_push", ctx);
+  t.useful_pull = req_uint(o, "useful_pull", ctx);
+  t.wasted_push = req_uint(o, "wasted_push", ctx);
+  t.wasted_pull = req_uint(o, "wasted_pull", ctx);
+  t.empty_contacts = req_uint(o, "empty_contacts", ctx);
+  t.ticks = req_uint(o, "ticks", ctx);
+  t.informed_total = req_uint(o, "informed_total", ctx);
+  return t;
+}
+
+/// One curve partial with its contact totals: the value of a slot entry's
+/// optional "curves" key, and of the done result's "curves" key.
+Json curves_to_json(const stats::CurveAccumulator::State& s, const stats::ContactTotals& t) {
+  Json moments = Json::array();
+  for (const auto& m : s.moments) moments.push_back(moments_to_json(m));
+  Json sketches = Json::array();
+  for (const auto& q : s.sketches) sketches.push_back(sketch_to_json(q));
+  Json o = Json::object();
+  o.set("trials", s.trials);
+  o.set("max_len", s.max_len);
+  o.set("moments", std::move(moments));
+  o.set("sketches", std::move(sketches));
+  o.set("contacts", totals_to_json(t));
+  return o;
+}
+
+stats::CurveAccumulator::State curve_state_from_json(const Json& o, std::size_t points,
+                                                     const std::string& ctx) {
+  stats::CurveAccumulator::State s;
+  s.trials = req_uint(o, "trials", ctx);
+  s.max_len = req_uint(o, "max_len", ctx);
+  for (const Json& m : req_array(o, "moments", ctx).elements()) {
+    s.moments.push_back(moments_from_json(m, ctx));
+  }
+  for (const Json& q : req_array(o, "sketches", ctx).elements()) {
+    s.sketches.push_back(sketch_from_json(q, ctx));
+  }
+  if (s.moments.size() != points || s.sketches.size() != points) {
+    fail(ctx, "curve partial has grid length " + std::to_string(s.moments.size()) + "/" +
+                  std::to_string(s.sketches.size()) + ", the spec's curves.points is " +
+                  std::to_string(points));
+  }
+  return s;
+}
+
 Json ids_to_json(const std::vector<graph::NodeId>& ids) {
   Json arr = Json::array();
   for (const graph::NodeId u : ids) arr.push_back(static_cast<std::uint64_t>(u));
@@ -402,12 +479,16 @@ void CampaignRecorder::record_graph(std::size_t config, const std::string& graph
 }
 
 void CampaignRecorder::record_trial_slot(std::size_t config, std::size_t slot,
-                                         const stats::StreamingSummary& partial) {
+                                         const stats::StreamingSummary& partial,
+                                         const stats::CurveAccumulator* curves,
+                                         const stats::ContactTotals* contacts) {
   Json s = summary_to_json(partial.state());
+  Json c = curves != nullptr ? curves_to_json(curves->state(), *contacts) : Json();
   const std::scoped_lock lock(mutex_);
   StoredConfig& sc = store_[config];
   sc.phase = "trials";
   sc.slots[slot] = std::move(s);
+  if (curves != nullptr) sc.slot_curves[slot] = std::move(c);
 }
 
 void CampaignRecorder::record_plan(std::size_t config,
@@ -456,11 +537,15 @@ void CampaignRecorder::record_done(std::size_t config, const CampaignResult& res
   r.set("best_source", static_cast<std::uint64_t>(result.best_source));
   r.set("best_mean", result.best_mean);
   r.set("summary", summary_to_json(result.summary.state()));
+  if (result.has_curves) {
+    r.set("curves", curves_to_json(result.curves.state(), result.contacts));
+  }
   const std::scoped_lock lock(mutex_);
   StoredConfig& sc = store_[config];
   sc.phase = "done";
   sc.result = std::move(r);
   sc.slots.clear();
+  sc.slot_curves.clear();
   sc.screen.clear();
   sc.refine.clear();
   sc.candidates.clear();
@@ -526,6 +611,9 @@ Json CampaignRecorder::snapshot(bool finished) const {
         Json s = Json::object();
         s.set("slot", static_cast<std::uint64_t>(slot));
         s.set("summary", summary);
+        if (const auto it = sc.slot_curves.find(slot); it != sc.slot_curves.end()) {
+          s.set("curves", it->second);
+        }
         slots.push_back(std::move(s));
       }
       e.set("slots", std::move(slots));
@@ -643,9 +731,27 @@ std::vector<CampaignRecorder::Restored> CampaignRecorder::load(const Json& doc) 
         if (!sc.slots.emplace(slot, require(s, "summary", ectx)).second) {
           fail(ectx, "duplicate slot " + std::to_string(slot));
         }
+        // Curve partials travel with their slot: a curves-enabled config
+        // must have one per recorded slot (and a curve-free config none),
+        // so resume never silently drops telemetry that was computed.
+        const Json* cv = s.find("curves");
+        if (cfg.curves.enabled) {
+          if (cv == nullptr) {
+            fail(ectx, "slot " + std::to_string(slot) +
+                           " has no curve partial but the spec enables curves");
+          }
+          sc.slot_curves[slot] = *cv;
+        } else if (cv != nullptr) {
+          fail(ectx, "slot " + std::to_string(slot) +
+                         " has a curve partial but the spec does not enable curves");
+        }
       }
       for (const auto& [slot, summary] : sc.slots) {
         r.trial_slots.emplace_back(slot, summary_from_json(summary, ectx));
+      }
+      for (const auto& [slot, cv] : sc.slot_curves) {
+        r.curve_slots.emplace_back(slot, curve_state_from_json(cv, cfg.curves.points, ectx),
+                                   totals_from_json(require(cv, "contacts", ectx), ectx));
       }
     } else if (phase == "screen") {
       if (!race) fail(ectx, "fixed-source configuration cannot be in phase 'screen'");
@@ -706,6 +812,11 @@ std::vector<CampaignRecorder::Restored> CampaignRecorder::load(const Json& doc) 
       r.best_source = static_cast<graph::NodeId>(req_uint(result, "best_source", ectx));
       r.best_mean = req_number(result, "best_mean", ectx);
       r.summary = summary_from_json(require(result, "summary", ectx), ectx);
+      if (cfg.curves.enabled) {
+        const Json& cv = require(result, "curves", ectx);
+        r.curves = curve_state_from_json(cv, cfg.curves.points, ectx);
+        r.contacts = totals_from_json(require(cv, "contacts", ectx), ectx);
+      }
       sc.result = result;
       sc.has_graph = false;  // the result carries the graph identity
     } else {
@@ -787,7 +898,8 @@ std::vector<CampaignResult> merge_campaign_snapshots(const std::vector<CampaignC
 
     std::uint32_t done_shard = 0;  // 1-based; 0 = none
     const Json* done_result = nullptr;
-    std::map<std::size_t, std::pair<std::uint32_t, const Json*>> slots;  // slot -> (shard, summary)
+    // slot -> (shard, full slot entry: "summary" plus optional "curves")
+    std::map<std::size_t, std::pair<std::uint32_t, const Json*>> slots;
     std::string graph_name;
     std::uint64_t graph_n = 0;
     std::uint32_t graph_shard = 0;
@@ -830,8 +942,8 @@ std::vector<CampaignResult> merge_campaign_snapshots(const std::vector<CampaignC
       }
       for (const Json& slot_entry : req_array(e, "slots", ctx).elements()) {
         const std::size_t slot = static_cast<std::size_t>(req_uint(slot_entry, "slot", ctx));
-        const auto [it, inserted] =
-            slots.emplace(slot, std::make_pair(s + 1, &require(slot_entry, "summary", ctx)));
+        (void)require(slot_entry, "summary", ctx);
+        const auto [it, inserted] = slots.emplace(slot, std::make_pair(s + 1, &slot_entry));
         if (!inserted) {
           fail(ctx, "slot " + std::to_string(slot) + " recorded by both shard " +
                         std::to_string(it->second.first) + " and shard " + std::to_string(s + 1));
@@ -851,6 +963,13 @@ std::vector<CampaignResult> merge_campaign_snapshots(const std::vector<CampaignC
       r.best_mean = req_number(*done_result, "best_mean", ctx);
       r.summary = stats::StreamingSummary::restored(
           summary_options, summary_from_json(require(*done_result, "summary", ctx), ctx));
+      if (cfg.curves.enabled) {
+        const Json& cv = require(*done_result, "curves", ctx);
+        r.curves = stats::CurveAccumulator::restored(
+            curve_options_for(cfg, static_cast<std::size_t>(sketch_capacity)),
+            curve_state_from_json(cv, cfg.curves.points, ctx));
+        r.contacts = totals_from_json(require(cv, "contacts", ctx), ctx);
+      }
     } else {
       if (cfg.source_policy == SourcePolicy::kRace) {
         fail(ctx, "no shard finished this race configuration (coverage gap)");
@@ -867,12 +986,35 @@ std::vector<CampaignResult> merge_campaign_snapshots(const std::vector<CampaignC
       // the merged summary is bit-identical to the unsharded run's.
       auto it = slots.begin();
       stats::StreamingSummary total = stats::StreamingSummary::restored(
-          summary_options, summary_from_json(*it->second.second, ctx));
+          summary_options, summary_from_json(require(*it->second.second, "summary", ctx), ctx));
       for (++it; it != slots.end(); ++it) {
         total.merge(stats::StreamingSummary::restored(
-            summary_options, summary_from_json(*it->second.second, ctx)));
+            summary_options, summary_from_json(require(*it->second.second, "summary", ctx), ctx)));
       }
       r.summary = std::move(total);
+      if (cfg.curves.enabled) {
+        // Curve partials fold in the same slot order with the same restored
+        // construction options, so merged curves match the unsharded run's
+        // bit for bit.
+        const stats::CurveAccumulator::Options curve_options =
+            curve_options_for(cfg, static_cast<std::size_t>(sketch_capacity));
+        auto restore_slot = [&](const Json& entry) {
+          const Json& cv = require(entry, "curves", ctx);
+          return std::make_pair(
+              stats::CurveAccumulator::restored(
+                  curve_options, curve_state_from_json(cv, cfg.curves.points, ctx)),
+              totals_from_json(require(cv, "contacts", ctx), ctx));
+        };
+        auto cit = slots.begin();
+        auto [curve_total, contact_total] = restore_slot(*cit->second.second);
+        for (++cit; cit != slots.end(); ++cit) {
+          auto [cpart, tpart] = restore_slot(*cit->second.second);
+          curve_total.merge(cpart);
+          contact_total.merge(tpart);
+        }
+        r.curves = std::move(curve_total);
+        r.contacts = contact_total;
+      }
       r.graph_name = graph_name;
       r.n = graph_n;
     }

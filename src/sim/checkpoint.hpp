@@ -117,6 +117,14 @@ struct CampaignOutcome {
 [[nodiscard]] stats::StreamingSummary::Options summary_options_for(
     const CampaignConfig& cfg, std::size_t sketch_capacity, std::size_t reservoir_capacity);
 
+/// The curve-accumulator options a campaign gives configuration `cfg`
+/// (grid length from the config's curve spec, sketch capacity shared with
+/// the scalar summaries). Like summary_options_for, one definition shared
+/// by the scheduler and the merge tool so restored curve partials are
+/// always rebuilt with the exact construction parameters.
+[[nodiscard]] stats::CurveAccumulator::Options curve_options_for(const CampaignConfig& cfg,
+                                                                 std::size_t sketch_capacity);
+
 /// Loads a campaign spec file and applies the rumor_bench CLI override
 /// semantics (--trials replaces every trial count, --scale multiplies the
 /// spec's own counts otherwise, --seed replaces every root seed). Shared by
@@ -167,6 +175,10 @@ class CampaignRecorder {
     enum class Phase : std::uint8_t { kPending, kTrials, kScreen, kRefine, kDone };
     Phase phase = Phase::kPending;
     std::vector<std::pair<std::size_t, stats::StreamingSummary::State>> trial_slots;
+    /// Parallel to trial_slots when the configuration has curves enabled:
+    /// every recorded slot carries its curve partial and contact totals.
+    std::vector<std::tuple<std::size_t, stats::CurveAccumulator::State, stats::ContactTotals>>
+        curve_slots;
     std::vector<graph::NodeId> candidates;
     std::vector<std::tuple<std::uint32_t, std::size_t, stats::RunningMoments::State>> screen_slots;
     std::vector<graph::NodeId> finalists;
@@ -179,6 +191,9 @@ class CampaignRecorder {
     graph::NodeId best_source = 0;
     double best_mean = 0.0;
     stats::StreamingSummary::State summary;
+    /// Phase::kDone with curves enabled only.
+    stats::CurveAccumulator::State curves;
+    stats::ContactTotals contacts;
   };
 
   CampaignRecorder(const std::vector<CampaignConfig>& configs, const CampaignOptions& options,
@@ -194,7 +209,9 @@ class CampaignRecorder {
   // partial's exact state under the store mutex.
   void record_graph(std::size_t config, const std::string& graph_name, std::uint64_t n);
   void record_trial_slot(std::size_t config, std::size_t slot,
-                         const stats::StreamingSummary& partial);
+                         const stats::StreamingSummary& partial,
+                         const stats::CurveAccumulator* curves = nullptr,
+                         const stats::ContactTotals* contacts = nullptr);
   void record_plan(std::size_t config, const std::vector<graph::NodeId>& candidates);
   void record_screen_slot(std::size_t config, std::uint32_t entrant, std::size_t slot,
                           const stats::RunningMoments& partial);
@@ -229,6 +246,10 @@ class CampaignRecorder {
     std::uint64_t n = 0;
     bool has_graph = false;
     std::map<std::size_t, Json> slots;
+    /// Curve partial per slot (curves-enabled configs only): pre-serialized
+    /// curve state with its contact totals, emitted as the slot entry's
+    /// optional "curves" key.
+    std::map<std::size_t, Json> slot_curves;
     std::vector<graph::NodeId> candidates;
     bool has_candidates = false;
     std::map<std::pair<std::uint32_t, std::size_t>, Json> screen;

@@ -537,6 +537,9 @@ void print_usage(std::ostream& out) {
          "                   stderr while the campaign runs; stdout stays parseable\n"
          "  --telemetry      embed a stats.telemetry cost breakdown (campaign wall time,\n"
          "                   per-config blocks/trials/busy time) in campaign reports\n"
+         "  --curves         enable spread telemetry on every campaign cell: stats.curves\n"
+         "                   informed-count curves, phase decomposition, and contact\n"
+         "                   accounting (fold with tools/spread_report.py)\n"
          "  --trials N       override the trial count of every measurement\n"
          "  --seed S         override the root seed (trial i uses stream i)\n"
          "  --threads T      worker threads (0 = hardware concurrency)\n"
@@ -632,6 +635,7 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
   std::string trace_file;
   bool progress = false;
   bool telemetry_stats = false;
+  bool curves_flag = false;
   std::vector<std::string> names;
 
   auto numeric_arg = [&](int& i, const char* flag) -> std::optional<std::uint64_t> {
@@ -682,6 +686,8 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
       progress = true;
     } else if (arg == "--telemetry") {
       telemetry_stats = true;
+    } else if (arg == "--curves") {
+      curves_flag = true;
     } else if (arg == "--trials") {
       const auto v = numeric_arg(i, "--trials");
       if (!v) return 2;
@@ -827,9 +833,10 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
 
   if (campaign_file.empty() &&
       (merge || shard_explicit || !checkpoint_file.empty() || !resume_file.empty() ||
-       stop_after_blocks != 0 || !trace_file.empty() || progress || telemetry_stats)) {
+       stop_after_blocks != 0 || !trace_file.empty() || progress || telemetry_stats ||
+       curves_flag)) {
     err << "rumor_bench: --merge/--shard/--checkpoint/--resume/--stop-after-blocks/--trace/"
-           "--progress/--telemetry require --campaign\n";
+           "--progress/--telemetry/--curves require --campaign\n";
     return 2;
   }
 
@@ -844,10 +851,30 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
       err << "rumor_bench: --stop-after-blocks requires --checkpoint\n";
       return 2;
     }
-    const auto spec =
+    auto spec =
         load_campaign_spec_file(campaign_file, opts.trials, opts.seed, opts.scale, "rumor_bench",
                                 err);
     if (!spec) return 2;
+
+    if (curves_flag) {
+      // Equivalent to adding a default "curves" block to every cell of the
+      // spec; a merge with --curves therefore expects shards that were run
+      // with --curves (the snapshot fingerprint covers the curve spec).
+      for (std::size_t c = 0; c < spec->configs.size(); ++c) {
+        CampaignConfig& cfg = spec->configs[c];
+        if (cfg.engine == EngineKind::kAux) {
+          err << "rumor_bench: --curves: configs[" << c
+              << "] uses engine 'aux', which has no contact structure\n";
+          return 2;
+        }
+        if (cfg.source_policy == SourcePolicy::kRace) {
+          err << "rumor_bench: --curves: configs[" << c
+              << "] uses source \"race\"; curves need a fixed source\n";
+          return 2;
+        }
+        cfg.curves.enabled = true;
+      }
+    }
 
     // Telemetry wiring: any of the three faces instantiates the registry;
     // --telemetry additionally surfaces the snapshot in report stats. The
@@ -880,6 +907,28 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
     };
 
     auto render_results = [&](const std::vector<CampaignResult>& results) -> int {
+      // When both probes and the metrics registry ran for the whole campaign
+      // (no resume: a resumed registry only saw this session's blocks), the
+      // two independent tick counts must agree exactly — probes fold
+      // result.rounds/result.steps per trial, the registry folds the same
+      // values per worker.
+      if (telemetry_stats && telemetry_metrics.has_value() && resume_file.empty() &&
+          !results.empty()) {
+        bool all_curves = true;
+        std::uint64_t probe_ticks = 0;
+        for (const CampaignResult& r : results) {
+          all_curves = all_curves && r.has_curves;
+          probe_ticks += r.contacts.ticks;
+        }
+        const std::uint64_t registry_ticks =
+            telemetry_metrics->totals.sync_rounds + telemetry_metrics->totals.async_events;
+        if (all_curves && probe_ticks != registry_ticks) {
+          err << "rumor_bench: engine-tick accounting mismatch: spread probes counted "
+              << probe_ticks << " ticks but the metrics registry recorded " << registry_ticks
+              << "\n";
+          return 1;
+        }
+      }
       Json reports = Json::array();
       for (std::size_t i = 0; i < results.size(); ++i) {
         const CampaignResult& r = results[i];
@@ -898,6 +947,7 @@ int run_bench_cli(int argc, const char* const* argv, std::ostream& out, std::ost
               t.set("trials", cost.trials);
               t.set("busy_ms", static_cast<double>(cost.busy_ns) / 1e6);
             }
+            if (r.has_curves) t.set("engine_ticks", r.contacts.ticks);
             value.set("telemetry", std::move(t));
           }
         }

@@ -1,0 +1,67 @@
+#include "stats/curves.hpp"
+
+#include <stdexcept>
+
+namespace rumor::stats {
+
+CurveAccumulator::CurveAccumulator(const Options& options)
+    : sketch_capacity_(options.sketch_capacity),
+      moments_(options.points),
+      sketches_(options.points, QuantileSketch(options.sketch_capacity)) {}
+
+void CurveAccumulator::add(const std::vector<double>& curve) {
+  if (curve.empty()) {
+    throw std::invalid_argument("CurveAccumulator::add: empty curve");
+  }
+  for (std::size_t k = 0; k < moments_.size(); ++k) {
+    const double value = curve[k < curve.size() ? k : curve.size() - 1];
+    moments_[k].add(value);
+    sketches_[k].add(value);
+  }
+  ++trials_;
+  if (curve.size() > max_len_) max_len_ = curve.size();
+}
+
+void CurveAccumulator::merge(const CurveAccumulator& other) {
+  if (other.trials_ == 0) return;  // exact identity, whatever its grid
+  if (trials_ == 0) {
+    *this = other;  // adopt verbatim, grid included
+    return;
+  }
+  if (points() != other.points()) {
+    throw std::invalid_argument("CurveAccumulator::merge: grid length mismatch");
+  }
+  for (std::size_t k = 0; k < moments_.size(); ++k) {
+    moments_[k].merge(other.moments_[k]);
+    sketches_[k].merge(other.sketches_[k]);
+  }
+  trials_ += other.trials_;
+  if (other.max_len_ > max_len_) max_len_ = other.max_len_;
+}
+
+CurveAccumulator::State CurveAccumulator::state() const {
+  State s;
+  s.trials = trials_;
+  s.max_len = max_len_;
+  s.moments.reserve(moments_.size());
+  s.sketches.reserve(sketches_.size());
+  for (const RunningMoments& m : moments_) s.moments.push_back(m.state());
+  for (const QuantileSketch& q : sketches_) s.sketches.push_back(q.state());
+  return s;
+}
+
+CurveAccumulator CurveAccumulator::restored(const Options& options, const State& s) {
+  if (s.moments.size() != options.points || s.sketches.size() != options.points) {
+    throw std::invalid_argument("CurveAccumulator::restored: grid length mismatch");
+  }
+  CurveAccumulator acc(options);
+  acc.trials_ = s.trials;
+  acc.max_len_ = s.max_len;
+  for (std::size_t k = 0; k < options.points; ++k) {
+    acc.moments_[k].restore(s.moments[k]);
+    acc.sketches_[k].restore(s.sketches[k]);
+  }
+  return acc;
+}
+
+}  // namespace rumor::stats

@@ -5,6 +5,7 @@
 // sample vectors.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -178,6 +179,184 @@ TEST(Campaign, MomentsStableAcrossBlockSizes) {
     EXPECT_EQ(a[i].summary.min(), b[i].summary.min());
     EXPECT_EQ(a[i].summary.max(), b[i].summary.max());
   }
+}
+
+// --- Spread telemetry (curves) -----------------------------------------------
+
+namespace {
+
+/// Sync, async, and quasirandom cells over two topologies, all with spread
+/// telemetry enabled (round grid for the round-based engines, a 0.5-unit
+/// time grid for async).
+std::vector<sim::CampaignConfig> curve_configs(std::uint64_t trials) {
+  static const auto kHypercube = shared(graph::hypercube(6));
+  static const auto kCycle = shared(graph::cycle(48));
+  std::vector<sim::CampaignConfig> configs;
+  std::uint64_t seed = 700;
+  for (const auto& g : {kHypercube, kCycle}) {
+    for (const sim::EngineKind engine : {sim::EngineKind::kSync, sim::EngineKind::kAsync,
+                                         sim::EngineKind::kQuasirandom}) {
+      sim::CampaignConfig cfg;
+      cfg.id = g->name() + std::string("_") + sim::engine_name(engine) + "_curves";
+      cfg.prebuilt = g;
+      cfg.engine = engine;
+      cfg.trials = trials;
+      cfg.seed = ++seed;
+      cfg.curves.enabled = true;
+      cfg.curves.points = 48;
+      cfg.curves.time_bucket = 0.5;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  return configs;
+}
+
+/// The full serialized curve state plus contact totals, for exact
+/// cross-run comparison (vector<double> equality is bitwise here: every
+/// component is finite).
+std::vector<double> curve_fingerprint(const sim::CampaignResult& r) {
+  const auto s = r.curves.state();
+  std::vector<double> out = {static_cast<double>(s.trials), static_cast<double>(s.max_len)};
+  for (const auto& m : s.moments) {
+    out.push_back(static_cast<double>(m.count));
+    out.insert(out.end(), {m.mean, m.m2, m.min, m.max});
+  }
+  for (const auto& sk : s.sketches) {
+    out.push_back(static_cast<double>(sk.count));
+    for (const auto& level : sk.levels) {
+      out.push_back(level.keep_odd ? 1.0 : 0.0);
+      out.insert(out.end(), level.items.begin(), level.items.end());
+    }
+  }
+  for (const std::uint64_t v : {r.contacts.contacts, r.contacts.useful_push,
+                                r.contacts.useful_pull, r.contacts.wasted_push,
+                                r.contacts.wasted_pull, r.contacts.empty_contacts,
+                                r.contacts.ticks, r.contacts.informed_total}) {
+    out.push_back(static_cast<double>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(CampaignCurves, BitIdenticalAcrossThreadCountsStableAcrossBlockSizes) {
+  const auto configs = curve_configs(48);
+  sim::CampaignOptions serial_options;
+  serial_options.threads = 1;
+  serial_options.block_size = 8;
+  const auto baseline = sim::run_campaign(configs, serial_options);
+
+  // Same block partition, any thread count: partials fold in slot order,
+  // so every curve component — moments, sketches, contacts — is
+  // bit-identical.
+  for (const unsigned threads : {2u, 8u}) {
+    sim::CampaignOptions options;
+    options.threads = threads;
+    options.block_size = 8;
+    const auto results = sim::run_campaign(configs, options);
+    ASSERT_EQ(results.size(), baseline.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(curve_fingerprint(results[i]), curve_fingerprint(baseline[i]))
+          << baseline[i].id << " threads=" << threads;
+    }
+  }
+
+  // A different block partition regroups the Welford folds: integer
+  // components (contacts, trials, max_len, per-point extremes) stay exact,
+  // moments agree to far better than Monte-Carlo noise.
+  for (const std::uint64_t block_size : {4u, 64u}) {
+    sim::CampaignOptions options;
+    options.threads = 8;
+    options.block_size = block_size;
+    const auto results = sim::run_campaign(configs, options);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      const auto& b = baseline[i];
+      EXPECT_EQ(r.curves.trials(), b.curves.trials()) << r.id;
+      EXPECT_EQ(r.curves.max_len(), b.curves.max_len()) << r.id;
+      auto contact_fields = [](const stats::ContactTotals& c) {
+        return std::array<std::uint64_t, 8>{c.contacts,       c.useful_push, c.useful_pull,
+                                            c.wasted_push,    c.wasted_pull, c.empty_contacts,
+                                            c.ticks,          c.informed_total};
+      };
+      EXPECT_EQ(contact_fields(r.contacts), contact_fields(b.contacts))
+          << r.id << " block=" << block_size;
+      for (std::size_t k = 0; k < r.curves.points(); ++k) {
+        EXPECT_EQ(r.curves.moments_at(k).min(), b.curves.moments_at(k).min()) << r.id;
+        EXPECT_EQ(r.curves.moments_at(k).max(), b.curves.moments_at(k).max()) << r.id;
+        EXPECT_NEAR(r.curves.mean_at(k), b.curves.mean_at(k),
+                    1e-9 * (1.0 + b.curves.mean_at(k))) << r.id << " point " << k;
+      }
+    }
+  }
+}
+
+TEST(CampaignCurves, ConservationHoldsExactlyAndReportCarriesCurves) {
+  const auto configs = curve_configs(32);
+  const auto results = sim::run_campaign(configs, {});
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.has_curves) << r.id;
+    EXPECT_EQ(r.curves.trials(), r.trials) << r.id;
+    // Every node beyond the source is informed by exactly one useful
+    // transmission; all trials run to full informedness.
+    EXPECT_EQ(r.contacts.informed_total, r.trials * r.n) << r.id;
+    EXPECT_EQ(r.contacts.useful_push + r.contacts.useful_pull,
+              r.contacts.informed_total - r.trials) << r.id;
+    // The curve starts at the lone source; once the grid covers the
+    // slowest trial it sits exactly at n (the cycle cells may outrun the
+    // grid — saturation only applies where the grid reaches).
+    EXPECT_EQ(r.curves.mean_at(0), 1.0) << r.id;
+    if (r.curves.max_len() <= r.curves.points()) {
+      EXPECT_EQ(r.curves.mean_at(r.curves.max_len() - 1), static_cast<double>(r.n)) << r.id;
+    }
+
+    const sim::Json report = sim::campaign_report(r, "curves_unit");
+    const sim::Json* stats = report.find("stats");
+    ASSERT_NE(stats, nullptr) << r.id;
+    const sim::Json* curves = stats->find("curves");
+    ASSERT_NE(curves, nullptr) << r.id;
+    const bool time_grid = r.engine == "async";
+    EXPECT_EQ(curves->find("grid")->as_string(), time_grid ? "time" : "rounds") << r.id;
+    EXPECT_EQ(curves->find("mean")->elements().size(), r.curves.points()) << r.id;
+    EXPECT_NE(curves->find("phases"), nullptr) << r.id;
+    EXPECT_EQ(curves->find("contacts")->find("ticks")->as_number(),
+              static_cast<double>(r.contacts.ticks)) << r.id;
+  }
+  // Curves off: the report must not grow a curves block.
+  auto plain = curve_configs(8);
+  plain.resize(1);
+  plain[0].curves.enabled = false;
+  const auto off = sim::run_campaign(plain, {});
+  EXPECT_FALSE(off[0].has_curves);
+  EXPECT_EQ(sim::campaign_report(off[0], "curves_unit").find("stats")->find("curves"), nullptr);
+}
+
+TEST(CampaignCurves, RejectsAuxEnginesAndRacedSources) {
+  sim::CampaignConfig aux;
+  aux.id = "aux_curves";
+  aux.prebuilt = shared(graph::hypercube(5));
+  aux.engine = sim::EngineKind::kAux;
+  aux.trials = 4;
+  aux.curves.enabled = true;
+  EXPECT_THROW((void)sim::run_campaign({aux}, {}), std::runtime_error);
+
+  sim::CampaignConfig race;
+  race.id = "race_curves";
+  race.prebuilt = shared(graph::star(32));
+  race.source_policy = sim::SourcePolicy::kRace;
+  race.race.screen_trials = 2;
+  race.race.finalists = 1;
+  race.trials = 4;
+  race.curves.enabled = true;
+  EXPECT_THROW((void)sim::run_campaign({race}, {}), std::runtime_error);
+
+  sim::CampaignConfig zero_points;
+  zero_points.id = "zero_points";
+  zero_points.prebuilt = shared(graph::hypercube(5));
+  zero_points.trials = 4;
+  zero_points.curves.enabled = true;
+  zero_points.curves.points = 0;
+  EXPECT_THROW((void)sim::run_campaign({zero_points}, {}), std::runtime_error);
 }
 
 // --- Error handling ----------------------------------------------------------

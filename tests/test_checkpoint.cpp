@@ -312,6 +312,138 @@ TEST(CampaignCheckpoint, RecordedCampaignsRejectDuplicateConfigIds) {
   EXPECT_NO_THROW((void)sim::run_campaign(configs, snapshot_options(2)));
 }
 
+// --- Spread telemetry through the snapshot layer -----------------------------
+
+namespace {
+
+/// Two curve-enabled cells (round grid + time grid) small enough to stop
+/// mid-run at block granularity.
+std::vector<sim::CampaignConfig> curve_snapshot_configs() {
+  static const auto kHypercube = shared(graph::hypercube(6));
+  static const auto kStar = shared(graph::star(96));
+  std::vector<sim::CampaignConfig> configs;
+
+  sim::CampaignConfig sync_cfg;
+  sync_cfg.id = "curves_hc_sync";
+  sync_cfg.prebuilt = kHypercube;
+  sync_cfg.trials = 24;
+  sync_cfg.seed = 601;
+  sync_cfg.curves.enabled = true;
+  sync_cfg.curves.points = 32;
+  configs.push_back(sync_cfg);
+
+  sim::CampaignConfig async_cfg;
+  async_cfg.id = "curves_star_async";
+  async_cfg.prebuilt = kStar;
+  async_cfg.engine = sim::EngineKind::kAsync;
+  async_cfg.trials = 24;
+  async_cfg.seed = 602;
+  async_cfg.curves.enabled = true;
+  async_cfg.curves.points = 32;
+  async_cfg.curves.time_bucket = 0.25;
+  configs.push_back(async_cfg);
+
+  return configs;
+}
+
+/// The full serialized curve state plus contact totals, for exact
+/// cross-run comparison.
+std::vector<double> curve_stats(const sim::CampaignResult& r) {
+  const auto s = r.curves.state();
+  std::vector<double> out = {static_cast<double>(s.trials), static_cast<double>(s.max_len)};
+  for (const auto& m : s.moments) {
+    out.push_back(static_cast<double>(m.count));
+    out.insert(out.end(), {m.mean, m.m2, m.min, m.max});
+  }
+  for (const auto& sk : s.sketches) {
+    out.push_back(static_cast<double>(sk.count));
+    for (const auto& level : sk.levels) {
+      out.push_back(level.keep_odd ? 1.0 : 0.0);
+      out.insert(out.end(), level.items.begin(), level.items.end());
+    }
+  }
+  for (const std::uint64_t v : {r.contacts.contacts, r.contacts.useful_push,
+                                r.contacts.useful_pull, r.contacts.wasted_push,
+                                r.contacts.wasted_pull, r.contacts.empty_contacts,
+                                r.contacts.ticks, r.contacts.informed_total}) {
+    out.push_back(static_cast<double>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(CampaignCheckpoint, CurvesSurviveStopResumeBitIdentically) {
+  const auto configs = curve_snapshot_configs();
+  const auto baseline = sim::run_campaign(configs, snapshot_options(1));
+
+  auto options = snapshot_options(2);
+  options.stop_after_blocks = 2;
+  const auto stopped = sim::run_campaign_resumable(configs, options, "snap");
+  ASSERT_FALSE(stopped.complete);
+
+  for (const unsigned threads : {1u, 8u}) {
+    const auto resumed = sim::run_campaign_resumable(configs, snapshot_options(threads), "snap",
+                                                     &stopped.snapshot);
+    ASSERT_TRUE(resumed.complete) << "threads=" << threads;
+    expect_bitwise_equal(resumed.results, baseline);
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(curve_stats(resumed.results[i]), curve_stats(baseline[i]))
+          << baseline[i].id << " threads=" << threads;
+    }
+  }
+
+  // A finished snapshot restores the curves verbatim too.
+  const auto done = sim::run_campaign_resumable(configs, snapshot_options(2), "snap");
+  ASSERT_TRUE(done.complete);
+  const auto restored =
+      sim::run_campaign_resumable(configs, snapshot_options(4), "snap", &done.snapshot);
+  ASSERT_TRUE(restored.complete);
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(curve_stats(restored.results[i]), curve_stats(baseline[i])) << baseline[i].id;
+  }
+}
+
+TEST(CampaignShard, CurvesSurviveTwoShardMergeBitIdentically) {
+  const auto configs = curve_snapshot_configs();
+  const auto baseline = sim::run_campaign(configs, snapshot_options(1));
+
+  std::vector<sim::Json> snapshots;
+  for (std::uint32_t i = 1; i <= 2; ++i) {
+    auto options = snapshot_options(2);
+    options.shard_index = i;
+    options.shard_count = 2;
+    const auto outcome = sim::run_campaign_resumable(configs, options, "snap");
+    ASSERT_TRUE(outcome.complete);
+    snapshots.push_back(outcome.snapshot);
+  }
+  const auto merged = sim::merge_campaign_snapshots(configs, "snap", snapshots);
+  expect_bitwise_equal(merged, baseline);
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    ASSERT_TRUE(merged[i].has_curves) << baseline[i].id;
+    EXPECT_EQ(curve_stats(merged[i]), curve_stats(baseline[i])) << baseline[i].id;
+  }
+}
+
+TEST(CampaignCheckpoint, CurveSpecIsPartOfTheSnapshotIdentity) {
+  // A snapshot taken without curves must not resume a curve-enabled spec
+  // (and vice versa): the fingerprint covers the curve grid.
+  auto configs = curve_snapshot_configs();
+  configs[0].curves.enabled = false;
+  configs[1].curves.enabled = false;
+  auto options = snapshot_options(2);
+  options.stop_after_blocks = 1;
+  const auto stopped = sim::run_campaign_resumable(configs, options, "snap");
+  ASSERT_FALSE(stopped.complete);
+
+  const auto curved = curve_snapshot_configs();
+  expect_throws_with(
+      [&] {
+        (void)sim::run_campaign_resumable(curved, snapshot_options(1), "snap", &stopped.snapshot);
+      },
+      "spec hash");
+}
+
 // --- Sharding + merge --------------------------------------------------------
 
 TEST(CampaignShard, ShardsMergeBitIdenticalToUnshardedRunForSeveralK) {

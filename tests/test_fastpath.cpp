@@ -302,6 +302,134 @@ TEST(FastpathSync, BitIdenticalOnChurnedAndWeightedOverlays) {
   }
 }
 
+// --- Spread probes & the derived informed-count history ----------------------
+
+namespace {
+
+void expect_probe_equal(const core::SpreadProbe& a, const core::SpreadProbe& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.contacts, b.contacts) << label;
+  EXPECT_EQ(a.useful_push, b.useful_push) << label;
+  EXPECT_EQ(a.useful_pull, b.useful_pull) << label;
+  EXPECT_EQ(a.wasted_push, b.wasted_push) << label;
+  EXPECT_EQ(a.wasted_pull, b.wasted_pull) << label;
+  EXPECT_EQ(a.empty_contacts, b.empty_contacts) << label;
+}
+
+}  // namespace
+
+TEST(FastpathSync, ProbeNeverPerturbsTheRunAndMatchesReferenceCounters) {
+  for (const auto& g : fastpath_families()) {
+    for (Mode mode : {Mode::kPush, Mode::kPull, Mode::kPushPull}) {
+      auto eng_plain = rng::derive_stream(818, 0);
+      auto eng_probed = eng_plain;
+      auto eng_ref = eng_plain;
+      core::SyncOptions opts;
+      opts.mode = mode;
+      const auto plain = core::run_sync(g, 0, eng_plain, opts);
+
+      core::SpreadProbe fast_probe;
+      opts.probe = &fast_probe;
+      const auto probed = core::run_sync(g, 0, eng_probed, opts);
+
+      core::SpreadProbe ref_probe;
+      opts.probe = &ref_probe;
+      const auto ref = core::run_sync_reference(g, 0, eng_ref, opts);
+
+      const std::string label = g.name() + "/" + core::mode_name(mode);
+      // Attaching a probe changes neither the result nor the RNG stream.
+      expect_sync_equal(probed, plain, label);
+      EXPECT_EQ(eng_probed.state(), eng_plain.state()) << label;
+      // The fast path's windowed classification matches the reference's.
+      expect_probe_equal(fast_probe, ref_probe, label);
+      // Conservation: "useful" is first-to-reach, so useful transmissions
+      // count informed non-sources exactly.
+      EXPECT_EQ(fast_probe.useful(), static_cast<std::uint64_t>(g.num_nodes()) - 1) << label;
+      // One-directional modes carry at most one transmission per contact;
+      // push-pull contacts can carry one in each direction.
+      const std::uint64_t classified =
+          fast_probe.useful() + fast_probe.wasted() + fast_probe.empty_contacts;
+      if (mode == Mode::kPushPull) {
+        EXPECT_GE(classified, fast_probe.contacts) << label;
+      } else {
+        EXPECT_EQ(classified, fast_probe.contacts) << label;
+      }
+    }
+  }
+}
+
+TEST(FastpathAsync, ProbeNeverPerturbsTheRunAndConservationHoldsPerView) {
+  auto graph_gen = rng::derive_stream(77, 1);
+  const auto g = graph::erdos_renyi(96, 0.07, graph_gen);
+  for (const core::AsyncView view : {core::AsyncView::kGlobalClock,
+                                     core::AsyncView::kPerNodeClocks,
+                                     core::AsyncView::kPerEdgeClocks}) {
+    for (double loss : {0.0, 0.25}) {
+      auto eng_plain = rng::derive_stream(819, static_cast<std::uint64_t>(view));
+      auto eng_probed = eng_plain;
+      core::AsyncOptions opts;
+      opts.view = view;
+      opts.message_loss = loss;
+      const auto plain = core::run_async(g, 0, eng_plain, opts);
+
+      core::SpreadProbe probe;
+      opts.probe = &probe;
+      const auto probed = core::run_async(g, 0, eng_probed, opts);
+
+      const std::string label = "view" + std::to_string(static_cast<int>(view)) +
+                                "/loss" + std::to_string(loss);
+      expect_async_equal(probed, plain, label);
+      EXPECT_EQ(eng_probed.state(), eng_plain.state()) << label;
+      EXPECT_EQ(probe.contacts, probed.steps) << label;
+      ASSERT_TRUE(probed.completed) << label;
+      EXPECT_EQ(probe.useful(), static_cast<std::uint64_t>(g.num_nodes()) - 1) << label;
+    }
+  }
+}
+
+TEST(FastpathSync, RecordHistoryIsTheDerivedCurveBitExactly) {
+  // Hand-pinned case: on K2 the source informs the other node in round 1
+  // regardless of mode or randomness — the history is exactly {1, 2}.
+  {
+    const auto g = graph::complete(2);
+    auto eng = rng::derive_stream(5, 5);
+    core::SyncOptions opts;
+    opts.record_history = true;
+    const auto r = core::run_sync(g, 0, eng, opts);
+    EXPECT_EQ(r.rounds, 1u);
+    EXPECT_EQ(r.informed_count_history, (std::vector<graph::NodeId>{1, 2}));
+  }
+  // General pinning, including loss, duplicate multi-source, and a round
+  // cap that stops mid-spread: the recorded history must equal the curve
+  // derived from first-informed rounds (integer-exact), start at the
+  // distinct source count, be monotone, and end at the informed count.
+  auto gen = rng::derive_stream(42, 3);
+  const auto g = graph::erdos_renyi(120, 0.05, gen);
+  for (const std::uint64_t cap : {std::uint64_t{0}, std::uint64_t{4}}) {
+    auto eng = rng::derive_stream(820, cap);
+    core::SyncOptions opts;
+    opts.record_history = true;
+    opts.message_loss = 0.2;
+    opts.extra_sources = {5, 9, 5};  // duplicate on purpose: 3 distinct sources
+    opts.max_rounds = cap;
+    const auto r = core::run_sync(g, 0, eng, opts);
+    const std::string label = "cap" + std::to_string(cap);
+    EXPECT_EQ(r.informed_count_history, core::informed_round_curve(r.informed_round, r.rounds))
+        << label;
+    ASSERT_EQ(r.informed_count_history.size(), static_cast<std::size_t>(r.rounds) + 1) << label;
+    EXPECT_EQ(r.informed_count_history.front(), 3u) << label;
+    EXPECT_TRUE(std::is_sorted(r.informed_count_history.begin(),
+                               r.informed_count_history.end())) << label;
+    const auto informed = static_cast<graph::NodeId>(
+        std::count_if(r.informed_round.begin(), r.informed_round.end(),
+                      [](std::uint64_t round) { return round != core::kNeverRound; }));
+    EXPECT_EQ(r.informed_count_history.back(), informed) << label;
+    if (cap != 0) {
+      EXPECT_FALSE(r.completed) << label;
+    }
+  }
+}
+
 // --- Per-edge async: bucket queue vs the retained heap -----------------------
 
 TEST(FastpathAsync, PerEdgeBucketQueueMatchesHeapBitForBit) {

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""CTest-invoked CLI checks for tools/spread_report.py.
+
+Covers the exit-code contract the CI curves-smoke job relies on (0 = ok,
+1 = --check failure, 2 = bad input) with synthetic reports in the schema
+rumor_bench --campaign --curves --json emits: monotone/saturating curves
+that pass, and targeted corruptions of each checked invariant — a
+decreasing mean, a curve that never reaches n, a grid length disagreeing
+with the row maximum, and a broken useful-transmission conservation sum.
+The real-binary end of the contract — that rumor_bench --curves emits
+reports this script passes — is covered by the CI smoke job and
+tests/test_campaign.cpp.
+
+Usage: test_spread_report.py /path/to/spread_report.py
+"""
+
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+N = 32
+TRIALS = 4
+
+
+def report(engine, grid, curve, max_len, contacts, bucket=0.5, stat_max=None):
+    points = len(curve)
+    if stat_max is None:
+        stat_max = float(max_len - 1) if grid == "rounds" else (max_len - 1.25) * bucket
+    curves = {
+        "grid": grid,
+        "time_bucket": bucket if grid == "time" else None,
+        "points": points,
+        "trials": TRIALS,
+        "max_len": max_len,
+        "sources": 1,
+        "mean": curve,
+        "stddev": [0.0] * points,
+        "p10": curve,
+        "p50": curve,
+        "p90": curve,
+        "phases": {"startup_end": 1, "growth_end": 2, "spread_end": 3,
+                   "startup_duration": 1, "growth_duration": 1,
+                   "shrink_duration": 1},
+        "contacts": contacts,
+    }
+    return {
+        "experiment": f"unit/ring_n{N}_{engine}_push-pull",
+        "title": f"ring — {engine} push-pull, {TRIALS} trials",
+        "params": {"graph": f"ring({N})", "n": N, "engine": engine,
+                   "mode": "push-pull", "trials": TRIALS, "seed": 1},
+        "rows": [{"graph": f"ring({N})", "n": N, "trials": TRIALS,
+                  "mean": stat_max / 2, "max": stat_max, "min": 1.0}],
+        "stats": {"mean": stat_max / 2, "curves": curves},
+    }
+
+
+def contacts_for(useful):
+    return {"contacts": 4 * useful, "useful_push": useful // 2,
+            "useful_pull": useful - useful // 2, "wasted_push": useful,
+            "wasted_pull": useful, "empty_contacts": useful,
+            "ticks": 100, "informed_total": TRIALS * N}
+
+
+def base_reports():
+    """One round-grid and one time-grid cell over the same graph, both
+    satisfying every checked invariant exactly."""
+    useful = TRIALS * (N - 1)
+    sync_curve = [1.0, 4.0, 16.0, float(N), float(N), float(N)]
+    async_curve = [1.0, 2.0, 6.0, 14.0, 27.0, 31.0, float(N), float(N)]
+    return [
+        report("sync", "rounds", sync_curve, max_len=4, contacts=contacts_for(useful)),
+        report("async", "time", async_curve, max_len=7, contacts=contacts_for(useful)),
+    ]
+
+
+def write(tmp, name, doc):
+    path = os.path.join(tmp, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def run(spread_report, *args):
+    proc = subprocess.run(
+        [sys.executable, spread_report, *args], capture_output=True, text=True
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(condition, message, output=""):
+    if not condition:
+        print(f"FAIL: {message}\n{output}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    spread_report = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        clean = write(tmp, "clean.json", base_reports())
+        code, out = run(spread_report, clean)
+        check(code == 0, "report over clean curves exits 0", out)
+        check("sync vs async" in out, "comparison table is rendered", out)
+        check("phases" in out and "contacts:" in out,
+              "phase and contact summaries are rendered", out)
+
+        code, out = run(spread_report, clean, "--check")
+        check(code == 0, "--check passes on clean curves", out)
+        check("check passed" in out, "--check reports the pass", out)
+
+        # A single report object (not an array) is accepted too.
+        single = write(tmp, "single.json", base_reports()[0])
+        code, out = run(spread_report, single, "--check")
+        check(code == 0, "a single report object checks cleanly", out)
+
+        # A decreasing mean curve violates monotonicity.
+        dec = base_reports()
+        dec[0]["stats"]["curves"]["mean"] = [1.0, 4.0, 3.0, float(N), float(N), float(N)]
+        code, out = run(spread_report, write(tmp, "dec.json", dec), "--check")
+        check(code == 1, "decreasing mean curve fails --check", out)
+        check("decreases" in out, "monotonicity diagnostic is specific", out)
+
+        # A curve that never saturates at n means a trial was cut short.
+        unsat = base_reports()
+        unsat[0]["stats"]["curves"]["mean"] = [1.0, 4.0, 16.0, 30.0, 30.0, 30.0]
+        unsat[0]["stats"]["curves"]["p10"] = unsat[0]["stats"]["curves"]["mean"]
+        unsat[0]["stats"]["curves"]["p50"] = unsat[0]["stats"]["curves"]["mean"]
+        unsat[0]["stats"]["curves"]["p90"] = unsat[0]["stats"]["curves"]["mean"]
+        code, out = run(spread_report, write(tmp, "unsat.json", unsat), "--check")
+        check(code == 1, "non-saturating curve fails --check", out)
+        check("saturate" in out, "saturation diagnostic is specific", out)
+
+        # Grid length must agree with the slowest trial in the report rows.
+        short = base_reports()
+        short[0]["rows"][0]["max"] = 9.0  # max_len 4 implies 3 rounds
+        code, out = run(spread_report, write(tmp, "short.json", short), "--check")
+        check(code == 1, "round-grid/row-max disagreement fails --check", out)
+
+        tshort = base_reports()
+        tshort[1]["rows"][0]["max"] = 9.0  # outside the (2.5, 3.0] bucket span
+        code, out = run(spread_report, write(tmp, "tshort.json", tshort), "--check")
+        check(code == 1, "time-grid/row-max disagreement fails --check", out)
+
+        # Conservation: useful transmissions must equal informed non-sources.
+        leak = base_reports()
+        leak[1]["stats"]["curves"]["contacts"]["useful_push"] += 1
+        code, out = run(spread_report, write(tmp, "leak.json", leak), "--check")
+        check(code == 1, "broken conservation sum fails --check", out)
+        check("useful transmission" in out, "conservation diagnostic is specific", out)
+
+        # Reports without curves are skipped; all-skipped is bad input.
+        mixed = base_reports()
+        del mixed[0]["stats"]["curves"]
+        code, out = run(spread_report, write(tmp, "mixed.json", mixed), "--check")
+        check(code == 0, "reports without curves are skipped", out)
+        check("skipped" in out, "the skip is reported", out)
+        bare = copy.deepcopy(mixed)
+        del bare[1]["stats"]["curves"]
+        code, out = run(spread_report, write(tmp, "bare.json", bare))
+        check(code == 2, "a report with no curves anywhere exits 2", out)
+
+        # Bad input: missing file, JSON without a stats key.
+        code, out = run(spread_report, os.path.join(tmp, "nope.json"))
+        check(code == 2, "missing report exits 2", out)
+        code, out = run(spread_report, write(tmp, "norows.json", {"rows": []}))
+        check(code == 2, "JSON without stats exits 2", out)
+
+    print("test_spread_report: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

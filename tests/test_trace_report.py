@@ -151,6 +151,36 @@ def main():
         code, out = run(trace_report, bare_path)
         check(code == 0, "plain report works without embedded metrics", out)
 
+        # A single-worker trace has no cross-worker tail; the straggler
+        # section must say so instead of throwing on the empty end list.
+        solo = base_trace()
+        solo["traceEvents"] = [meta(0, "worker 0"),
+                               span("block:trials", 10.0, 50.0, 0, "alpha", 0),
+                               span("block:trials", 70.0, 30.0, 0, "alpha", 1)]
+        solo["metrics"]["checkpoint_writes"] = 0
+        solo["metrics"]["totals"]["blocks_executed"] = 2
+        solo["metrics"]["per_config"] = [
+            {"id": "alpha", "blocks": 2, "trials": 32, "busy_ns": 80_000}]
+        solo_path = write(tmp, "solo.json", solo)
+        code, out = run(trace_report, solo_path, "--check")
+        check(code == 0, "single-worker trace reports and checks cleanly", out)
+        check("no cross-worker tail" in out,
+              "single-worker tail is reported explicitly", out)
+
+        # A zero-span trace (campaign with no work) must degrade to explicit
+        # messages, not 0/0 utilization rows.
+        empty = base_trace()
+        empty["traceEvents"] = [meta(0, "worker 0")]
+        empty["metrics"]["checkpoint_writes"] = 0
+        empty["metrics"]["blocks_scheduled"] = 0
+        empty["metrics"]["totals"]["blocks_executed"] = 0
+        empty["metrics"]["per_config"] = []
+        empty_path = write(tmp, "empty.json", empty)
+        code, out = run(trace_report, empty_path, "--check")
+        check(code == 0, "zero-span trace reports and checks cleanly", out)
+        check("no spans recorded" in out,
+              "empty-trace utilization is reported explicitly", out)
+
         # Bad input: missing file, non-JSON, JSON without traceEvents.
         code, out = run(trace_report, os.path.join(tmp, "nope.json"))
         check(code == 2, "missing trace exits 2", out)

@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Fold rumor_bench --curves campaign reports into spread-profile tables.
+
+The input is the --json output of a campaign run with spread telemetry
+enabled (the --curves flag, or per-cell ``curves`` blocks in the spec):
+each report carries a ``stats.curves`` object with the informed-count
+curve on a fixed grid (per-round for round-based engines, per-time-bucket
+for the async engine), its phase decomposition, and the contact
+accounting folded from the protocol probes (see docs/OBSERVABILITY.md).
+This report answers what the raw arrays make you eyeball manually:
+
+* **Per-config spread profile**: the mean/p10/p50/p90 informed-count
+  curve on a down-sampled grid, the phase boundaries (startup to 10% of
+  the graph, growth to 90%, spread to full), and call efficiency — which
+  fraction of push/pull transmissions were useful (informed a new node)
+  rather than wasted on already-informed targets.
+
+* **Sync-vs-async comparison**: for each (graph, mode, n) cell measured
+  under both a round-based and the async engine, the phase durations and
+  efficiency side by side — the paper's point that the async
+  Poisson-clock dynamics change the constant, not the shape.
+
+* ``--check``: validates invariants the plumbing must preserve —
+  informed-count curves are monotone non-decreasing, curves end exactly
+  at n (every trial runs to full informedness), the grid length agrees
+  with the spreading-time extremes in the report rows, and the exact
+  integer conservation law: every node except the source is informed by
+  exactly one useful transmission, so
+  ``useful_push + useful_pull == informed_total - trials * sources``.
+  Probes count on the engine's contact path and the summary rows on the
+  result path, so agreement is a real consistency check, not a
+  tautology. CI runs this on the curves smoke campaign.
+
+Usage:
+  spread_report.py REPORT.json [--rows N] [--check]
+
+Exit status: 0 = ok, 1 = --check failure, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+# Curve values are means of integer counts over up to 2^53 trials; a
+# relative epsilon absorbs accumulation rounding without masking a real
+# monotonicity violation.
+EPS = 1e-9
+
+
+def load_reports(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    reports = doc if isinstance(doc, list) else [doc]
+    for r in reports:
+        if not isinstance(r, dict) or "stats" not in r:
+            raise ValueError(f"{path}: not a rumor_bench report (no stats key)")
+    return reports
+
+
+def curve_configs(reports):
+    """Returns [(report, curves)] for the reports that carry spread curves."""
+    out = []
+    for r in reports:
+        curves = r.get("stats", {}).get("curves")
+        if isinstance(curves, dict):
+            out.append((r, curves))
+    return out
+
+
+def grid_coord(curves, k):
+    """Grid coordinate of curve point k (rounds, or time in bucket units)."""
+    if curves["grid"] == "time":
+        return k * curves["time_bucket"]
+    return float(k)
+
+
+def efficiency(contacts):
+    """Returns (useful, wasted, useful fraction) over both directions."""
+    useful = contacts["useful_push"] + contacts["useful_pull"]
+    wasted = contacts["wasted_push"] + contacts["wasted_pull"]
+    total = useful + wasted
+    return useful, wasted, useful / total if total > 0 else 0.0
+
+
+def profile_table(report, curves, rows):
+    """Prints one config's down-sampled curve table and its summary lines."""
+    params = report.get("params", {})
+    n = params.get("n", 0)
+    print(f"{report.get('experiment', '?')}")
+    print(f"  grid: {curves['grid']}"
+          + (f" (bucket {curves['time_bucket']})" if curves["grid"] == "time" else "")
+          + f", {curves['points']} point(s), {curves['trials']} trial(s), "
+          f"max_len {curves['max_len']}")
+    mean = curves["mean"]
+    points = len(mean)
+    step = max(1, (points + rows - 1) // rows)
+    unit = "t" if curves["grid"] == "time" else "round"
+    print(f"  {unit:>7}  {'mean':>10}  {'stddev':>9}  {'p10':>7}  {'p50':>7}  "
+          f"{'p90':>7}  frac")
+    picked = sorted(set(range(0, points, step)) | {points - 1})
+    for k in picked:
+        frac = mean[k] / n if n > 0 else 0.0
+        print(f"  {grid_coord(curves, k):>7.4g}  {mean[k]:>10.2f}  "
+              f"{curves['stddev'][k]:>9.2f}  {curves['p10'][k]:>7.4g}  "
+              f"{curves['p50'][k]:>7.4g}  {curves['p90'][k]:>7.4g}  {frac:5.1%}")
+    phases = curves.get("phases", {})
+    parts = []
+    for key in ("startup_duration", "growth_duration", "shrink_duration"):
+        v = phases.get(key)
+        parts.append(f"{key.split('_')[0]} {v:.4g}" if v is not None else
+                     f"{key.split('_')[0]} -")
+    unit_name = "time units" if curves["grid"] == "time" else "rounds"
+    print(f"  phases ({unit_name}): " + ", ".join(parts))
+    contacts = curves["contacts"]
+    useful, wasted, frac = efficiency(contacts)
+    per_node = contacts["contacts"] / contacts["informed_total"] \
+        if contacts["informed_total"] > 0 else 0.0
+    print(f"  contacts: {contacts['contacts']} over {contacts['ticks']} tick(s) "
+          f"({per_node:.2f} per informed node); useful {useful}, wasted {wasted} "
+          f"({frac:.1%} useful), empty {contacts['empty_contacts']}")
+
+
+def comparison_table(configs):
+    """Prints round-based vs async phase/efficiency rows per (graph, mode, n)."""
+    cells = {}
+    for report, curves in configs:
+        params = report.get("params", {})
+        key = (params.get("graph", "?"), params.get("mode", "?"), params.get("n", 0))
+        cells.setdefault(key, []).append((params.get("engine", "?"), curves))
+    pairs = {k: v for k, v in cells.items()
+             if any(c["grid"] == "rounds" for _, c in v)
+             and any(c["grid"] == "time" for _, c in v)}
+    if not pairs:
+        return
+    print("sync vs async (phase durations in native units: rounds | time):")
+    header = (f"  {'cell':<34}  {'engine':<11}  {'startup':>8}  {'growth':>8}  "
+              f"{'shrink':>8}  useful")
+    print(header)
+    for (graph, mode, n), engines in sorted(pairs.items()):
+        cell = f"{graph} {mode} n={n}"
+        for engine, curves in engines:
+            phases = curves.get("phases", {})
+            cols = []
+            for key in ("startup_duration", "growth_duration", "shrink_duration"):
+                v = phases.get(key)
+                cols.append(f"{v:>8.4g}" if v is not None else f"{'-':>8}")
+            _, _, frac = efficiency(curves["contacts"])
+            print(f"  {cell:<34}  {engine:<11}  {cols[0]}  {cols[1]}  {cols[2]}  "
+                  f"{frac:5.1%}")
+            cell = ""
+
+
+def check_config(report, curves):
+    """Validates one config's curve invariants; returns violation strings."""
+    problems = []
+    name = report.get("experiment", "?")
+    params = report.get("params", {})
+    n = params.get("n", 0)
+    points = curves["points"]
+    arrays = {k: curves[k] for k in ("mean", "stddev", "p10", "p50", "p90")}
+    for key, arr in arrays.items():
+        if len(arr) != points:
+            problems.append(f"{name}: {key} has {len(arr)} point(s), spec says {points}")
+    for key in ("mean", "p10", "p50", "p90"):
+        arr = arrays[key]
+        for k in range(1, len(arr)):
+            if arr[k] < arr[k - 1] - EPS * max(1.0, abs(arr[k - 1])):
+                problems.append(
+                    f"{name}: {key} decreases at grid point {k} "
+                    f"({arr[k - 1]} -> {arr[k]})")
+                break
+    # Every trial runs to full informedness, so once the grid covers the
+    # slowest trial (max_len points) the curve sits exactly at n.
+    max_len = curves["max_len"]
+    mean = arrays["mean"]
+    if max_len <= points and mean:
+        tail = mean[max_len - 1:]
+        if any(abs(v - n) > EPS * n for v in tail):
+            problems.append(
+                f"{name}: mean curve does not saturate at n={n} from grid "
+                f"point {max_len - 1} (tail starts at {tail[0]})")
+    # The grid length must agree with the spreading-time extremes measured
+    # independently on the result path (report rows).
+    rows = report.get("rows", [])
+    stat_max = rows[0].get("max") if rows else None
+    if stat_max is not None:
+        if curves["grid"] == "rounds":
+            # A trial that finishes in R rounds contributes R+1 curve points.
+            if max_len != int(round(stat_max)) + 1:
+                problems.append(
+                    f"{name}: max_len {max_len} but slowest trial took "
+                    f"{stat_max} round(s) (expected {int(round(stat_max)) + 1})")
+        else:
+            bucket = curves["time_bucket"]
+            lo, hi = (max_len - 2) * bucket, (max_len - 1) * bucket
+            slack = EPS * max(1.0, stat_max)
+            if not (lo - slack < stat_max <= hi + slack):
+                problems.append(
+                    f"{name}: max_len {max_len} spans ({lo}, {hi}] at bucket "
+                    f"{bucket} but the slowest trial took {stat_max}")
+    # Conservation: each node beyond the source is informed by exactly one
+    # useful transmission. Exact integer identity, no epsilon.
+    contacts = curves["contacts"]
+    useful = contacts["useful_push"] + contacts["useful_pull"]
+    informed = contacts["informed_total"] - curves["trials"] * curves["sources"]
+    if useful != informed:
+        problems.append(
+            f"{name}: {useful} useful transmission(s) but "
+            f"{informed} non-source node(s) were informed")
+    if contacts["informed_total"] != curves["trials"] * n:
+        problems.append(
+            f"{name}: informed_total {contacts['informed_total']} != "
+            f"trials * n = {curves['trials'] * n}")
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="JSON report from rumor_bench --campaign --curves")
+    parser.add_argument(
+        "--rows", type=int, default=12,
+        help="approximate rows per curve table (default: 12)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate monotonicity, saturation, grid-endpoint agreement, and "
+        "the useful-transmission conservation law; exit 1 on any violation",
+    )
+    args = parser.parse_args()
+
+    try:
+        reports = load_reports(args.report)
+    except (OSError, ValueError) as err:
+        print(f"spread_report: {err}", file=sys.stderr)
+        return 2
+
+    configs = curve_configs(reports)
+    if not configs:
+        print("spread_report: no stats.curves in any report "
+              "(run the campaign with --curves)", file=sys.stderr)
+        return 2
+    skipped = len(reports) - len(configs)
+    if skipped:
+        print(f"({skipped} report(s) without spread curves skipped)\n")
+
+    for i, (report, curves) in enumerate(configs):
+        if i:
+            print()
+        profile_table(report, curves, args.rows)
+    print()
+    comparison_table(configs)
+
+    if args.check:
+        problems = []
+        for report, curves in configs:
+            problems += check_config(report, curves)
+        if problems:
+            print(f"\nspread_report: {len(problems)} check failure(s):",
+                  file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(f"\nspread_report: check passed — monotone saturated curves and "
+              f"exact useful-transmission conservation across "
+              f"{len(configs)} config(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

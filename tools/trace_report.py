@@ -105,8 +105,14 @@ def per_config_table(blocks):
 
 def utilization_table(blocks, all_spans, lanes):
     """Prints per-worker busy time against the trace's wall span."""
-    begin = min((float(s["ts"]) for s in all_spans), default=0.0)
-    end = max((s["end"] for s in all_spans), default=0.0)
+    if not all_spans:
+        # An empty trace (campaign with zero blocks, or a flush that lost
+        # every span) has no wall span; a 0/0 utilization table would just
+        # print garbage percentages.
+        print("no spans recorded — worker utilization is undefined for an empty trace")
+        return
+    begin = min(float(s["ts"]) for s in all_spans)
+    end = max(s["end"] for s in all_spans)
     wall_us = end - begin
     busy = {}
     count = {}
@@ -134,13 +140,18 @@ def straggler_report(blocks, top):
         )
     last = max(blocks, key=lambda s: s["end"])
     other_ends = [s["end"] for s in blocks if s["tid"] != last["tid"]]
-    if other_ends:
-        tail_us = last["end"] - max(other_ends)
-        if tail_us > 0:
-            print(
-                f"tail: {last['args']['config']} (worker {last['tid']}) ran "
-                f"{tail_us / 1e3:.2f} ms after every other worker finished"
-            )
+    if not other_ends:
+        # All block spans ran on one lane (--threads 1, or a one-block
+        # campaign); there is no cross-worker tail to measure, and max()
+        # over the empty end list would throw.
+        print("tail: all block spans ran on one worker — no cross-worker tail")
+        return
+    tail_us = last["end"] - max(other_ends)
+    if tail_us > 0:
+        print(
+            f"tail: {last['args']['config']} (worker {last['tid']}) ran "
+            f"{tail_us / 1e3:.2f} ms after every other worker finished"
+        )
 
 
 def check_geometry(blocks, all_spans, lanes):
