@@ -236,7 +236,7 @@ AsyncResult dispatch_async(const Graph& g, NodeId source, rng::Engine& eng,
     throw std::runtime_error("run_async: dynamics overlays need the global-clock view");
   }
   const std::uint64_t cap =
-      options.max_steps != 0 ? options.max_steps : default_step_cap(g.num_nodes());
+      options.max_ticks != 0 ? options.max_ticks : default_step_cap(g.num_nodes());
   switch (options.view) {
     case AsyncView::kGlobalClock: return run_global_clock(g, source, eng, options, cap);
     case AsyncView::kPerNodeClocks: return run_per_node_clocks(g, source, eng, options, cap);

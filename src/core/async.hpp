@@ -17,44 +17,22 @@
 
 #include "core/protocol.hpp"
 #include "core/spread_probe.hpp"
+#include "core/trial.hpp"
 #include "rng/rng.hpp"
-
-namespace rumor::dynamics {
-class DynamicGraphView;
-}  // namespace rumor::dynamics
 
 namespace rumor::core {
 
-enum class AsyncView : std::uint8_t {
-  kGlobalClock,
-  kPerNodeClocks,
-  kPerEdgeClocks,
-};
-
-struct AsyncOptions {
-  Mode mode = Mode::kPushPull;
+/// Shared knobs (core/trial.hpp): max_ticks caps *steps* here (0 derives
+/// ~200 n^2 log n steps, i.e. ~200 n log n time units); message_loss thins
+/// contacts exactly like the sync engine; the probe counts every event
+/// (a tick of an isolated node as an empty contact). record_history is
+/// ignored — the async engine always reports per-node inform times.
+/// Dynamics: epochs are `period` time units long and contacts route
+/// through the view. Only the global-clock equivalent supports dynamics
+/// (the per-node/per-edge heaps pre-draw clock ticks against a fixed
+/// adjacency); run_async throws std::runtime_error on other views.
+struct AsyncOptions : TrialOptions {
   AsyncView view = AsyncView::kGlobalClock;
-  /// Abort once this many steps have executed; 0 derives a generous cap from
-  /// n (~200 n^2 log n steps, i.e. ~200 n log n time units).
-  std::uint64_t max_steps = 0;
-  /// Fault injection (extension): probability that a contact carries no
-  /// rumor. See SyncOptions::message_loss.
-  double message_loss = 0.0;
-  /// Additional nodes informed at time 0 (extension: multi-source).
-  std::vector<NodeId> extra_sources;
-  /// Temporal/weighted overlay (extension, dynamics/churn.hpp): epochs are
-  /// `period` time units long and contacts route through the view. Only
-  /// the global-clock equivalent supports dynamics (the per-node/per-edge
-  /// heaps pre-draw clock ticks against a fixed adjacency); run_async
-  /// throws std::runtime_error on other views. Null = the static model,
-  /// randomness consumption unchanged.
-  dynamics::DynamicGraphView* dynamics = nullptr;
-  /// Spread telemetry (spread_probe.hpp): every event is counted — a tick
-  /// of an isolated node as an empty contact, everything else classified
-  /// useful/wasted per direction at its event time. Null costs one
-  /// predictable check per event; a probe never changes randomness
-  /// consumption or the result.
-  SpreadProbe* probe = nullptr;
 };
 
 /// Runs one asynchronous execution from `source`; reports the time (in time
@@ -72,7 +50,7 @@ struct AsyncOptions {
 [[nodiscard]] AsyncResult run_async_reference(const Graph& g, NodeId source, rng::Engine& eng,
                                               const AsyncOptions& options = {});
 
-/// Default step cap used when AsyncOptions::max_steps == 0.
+/// Default step cap used when TrialOptions::max_ticks == 0.
 [[nodiscard]] std::uint64_t default_step_cap(NodeId n) noexcept;
 
 }  // namespace rumor::core

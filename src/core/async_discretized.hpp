@@ -18,21 +18,22 @@
 
 #include "core/protocol.hpp"
 #include "core/spread_probe.hpp"
+#include "core/trial.hpp"
 #include "rng/rng.hpp"
 
 namespace rumor::core {
 
-struct DiscretizedOptions {
-  Mode mode = Mode::kPushPull;
+/// Shared knobs (core/trial.hpp): mode and probe are honored — contacts
+/// classify against the slice-start informed set, with the slice as the
+/// freshness window (a second contact reaching the same node within one
+/// slice is wasted). The cap is by simulated *time* (max_time below), not
+/// ticks; the other shared fields are ignored (the ablation studies the
+/// plain lossless single-source model).
+struct DiscretizedOptions : TrialOptions {
   /// Slice width in time units. Smaller is more accurate and slower.
   double dt = 0.1;
   /// Abort after this much simulated time; 0 derives a cap from n.
   double max_time = 0.0;
-  /// Spread telemetry (spread_probe.hpp): contacts classify against the
-  /// slice-start informed set, with the slice as the freshness window (a
-  /// second contact reaching the same node within one slice is wasted).
-  /// Null costs one predictable check per contact.
-  SpreadProbe* probe = nullptr;
 };
 
 /// Runs the time-sliced approximation from `source`. Reported inform times

@@ -36,7 +36,7 @@ SyncResult run_aux(const Graph& g, NodeId source, rng::Engine& eng, const AuxOpt
   }
 
   const std::uint64_t cap =
-      options.max_rounds != 0 ? options.max_rounds : default_round_cap(n);
+      options.max_ticks != 0 ? options.max_ticks : default_round_cap(n);
 
   std::vector<NodeId> newly_informed;
   for (std::uint64_t r = 1; informed_count < n && r <= cap; ++r) {

@@ -19,22 +19,23 @@
 #pragma once
 
 #include "core/protocol.hpp"
+#include "core/trial.hpp"
 #include "rng/rng.hpp"
 
 namespace rumor::core {
 
-enum class AuxKind : std::uint8_t {
-  kPpx,  // Definition 5 (with the deg/2 forced-pull rule)
-  kPpy,  // Definition 7 (plain aggregate pull probability)
-};
+// AuxKind (kPpx = Definition 5 with the deg/2 forced-pull rule, kPpy =
+// Definition 7's plain aggregate pull probability) lives in core/trial.hpp
+// so the unified dispatch can select the process without including this
+// header.
 
-struct AuxOptions {
+/// Shared knobs (core/trial.hpp): max_ticks (rounds; 0 = run_sync's default
+/// cap), record_history, and extra_sources are honored — extra sources let
+/// tests pose exact one-round scenarios against the Definition 5/7 pull
+/// formulas. mode, message_loss, probe, and dynamics are ignored: the aux
+/// processes fix their own contact structure by definition.
+struct AuxOptions : TrialOptions {
   AuxKind kind = AuxKind::kPpx;
-  std::uint64_t max_rounds = 0;  // 0: same default cap as run_sync
-  bool record_history = false;
-  /// Additional nodes informed at round 0 (lets tests pose exact
-  /// one-round scenarios against the Definition 5/7 pull formulas).
-  std::vector<NodeId> extra_sources;
 };
 
 /// Runs one execution of ppx or ppy from `source`.

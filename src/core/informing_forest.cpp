@@ -45,7 +45,7 @@ SyncForestRun run_sync_with_forest(const Graph& g, NodeId source, rng::Engine& e
   if (options.record_history) run.result.informed_count_history.push_back(informed_count);
 
   const std::uint64_t cap =
-      options.max_rounds != 0 ? options.max_rounds : default_round_cap(n);
+      options.max_ticks != 0 ? options.max_ticks : default_round_cap(n);
 
   struct Pending {
     NodeId node;
@@ -102,7 +102,7 @@ AsyncForestRun run_async_with_forest(const Graph& g, NodeId source, rng::Engine&
   const NodeId n = g.num_nodes();
   assert(source < n);
   const std::uint64_t cap =
-      options.max_steps != 0 ? options.max_steps : default_step_cap(n);
+      options.max_ticks != 0 ? options.max_ticks : default_step_cap(n);
 
   AsyncForestRun run;
   run.result.informed_time.assign(n, kNeverTime);

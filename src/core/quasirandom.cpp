@@ -26,7 +26,7 @@ SyncResult run_quasirandom(const Graph& g, NodeId source, rng::Engine& eng,
   }
 
   const std::uint64_t cap =
-      options.max_rounds != 0 ? options.max_rounds : default_round_cap(n);
+      options.max_ticks != 0 ? options.max_ticks : default_round_cap(n);
 
   std::vector<NodeId> newly;
   // Probe-only freshness marks for the current round (cleared at commit);

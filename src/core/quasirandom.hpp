@@ -13,18 +13,16 @@
 
 #include "core/protocol.hpp"
 #include "core/sync.hpp"
+#include "core/trial.hpp"
 #include "rng/rng.hpp"
 
 namespace rumor::core {
 
-struct QuasirandomOptions {
-  Mode mode = Mode::kPushPull;
-  std::uint64_t max_rounds = 0;  // 0: same default cap as run_sync
-  /// Alias over the spread-probe history derivation (see SyncOptions).
-  bool record_history = false;
-  /// Spread telemetry (spread_probe.hpp); null costs one check per contact.
-  SpreadProbe* probe = nullptr;
-};
+/// Shared knobs (core/trial.hpp): mode, max_ticks (rounds; 0 = run_sync's
+/// default cap), record_history, and probe are honored; message_loss,
+/// extra_sources, and dynamics are ignored (the quasirandom model is
+/// studied in its classical lossless single-source static form).
+struct QuasirandomOptions : TrialOptions {};
 
 /// Runs one synchronous quasirandom execution from `source`: node v's
 /// contact in round r is neighbor (start_v + r - 1) mod deg(v), with

@@ -10,6 +10,7 @@
 #include "core/async_discretized.hpp"  // IWYU pragma: export
 #include "core/aux_process.hpp"        // IWYU pragma: export
 #include "core/averaging.hpp"          // IWYU pragma: export
+#include "core/batch_sync.hpp"         // IWYU pragma: export
 #include "core/coupling_blocks.hpp"    // IWYU pragma: export
 #include "core/coupling_pull.hpp"      // IWYU pragma: export
 #include "core/event_queue.hpp"        // IWYU pragma: export
@@ -20,6 +21,7 @@
 #include "core/quasirandom.hpp"        // IWYU pragma: export
 #include "core/sync.hpp"               // IWYU pragma: export
 #include "core/trajectory.hpp"         // IWYU pragma: export
+#include "core/trial.hpp"              // IWYU pragma: export
 #include "graph/expansion.hpp"         // IWYU pragma: export
 #include "graph/generators.hpp"        // IWYU pragma: export
 #include "graph/graph.hpp"             // IWYU pragma: export

@@ -190,7 +190,7 @@ SyncResult run_sync(const Graph& g, NodeId source, rng::Engine& eng,
   NodeId informed_count = seed_sources(source, options, result);
 
   const std::uint64_t cap =
-      options.max_rounds != 0 ? options.max_rounds : default_round_cap(n);
+      options.max_ticks != 0 ? options.max_ticks : default_round_cap(n);
 
   switch (options.mode) {
     case Mode::kPush:
@@ -222,7 +222,7 @@ SyncResult run_sync_reference(const Graph& g, NodeId source, rng::Engine& eng,
   NodeId informed_count = seed_sources(source, options, result);
 
   const std::uint64_t cap =
-      options.max_rounds != 0 ? options.max_rounds : default_round_cap(n);
+      options.max_ticks != 0 ? options.max_ticks : default_round_cap(n);
 
   // Nodes informed strictly before the current round: informed_round < r.
   // Newly informed nodes are stamped with the current round number, so the

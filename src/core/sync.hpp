@@ -11,51 +11,17 @@
 
 #include "core/protocol.hpp"
 #include "core/spread_probe.hpp"
+#include "core/trial.hpp"
 #include "rng/rng.hpp"
-
-namespace rumor::dynamics {
-class DynamicGraphView;
-}  // namespace rumor::dynamics
 
 namespace rumor::core {
 
-struct SyncOptions {
-  /// Communication mode for every contact.
-  Mode mode = Mode::kPushPull;
-  /// Abort after this many rounds; 0 derives a generous cap from n
-  /// (~200 n log n, far above the O(n log n) worst case for connected
-  /// graphs) so runaway loops surface as `completed == false` instead of
-  /// hanging.
-  std::uint64_t max_rounds = 0;
-  /// Record |informed| after every round into informed_count_history.
-  /// Thin alias over the spread-probe layer: the history is derived from
-  /// informed_round after the run (spread_probe.hpp), bit-identical to the
-  /// old in-loop recording.
-  bool record_history = false;
-  /// Spread telemetry (spread_probe.hpp): when set, every contact is
-  /// counted and its transmissions classified useful/wasted per direction.
-  /// Null costs nothing — the instrumented scan is a separate template
-  /// instantiation. A probe never changes randomness consumption or the
-  /// result; counters accumulate across runs unless the caller resets them.
-  SpreadProbe* probe = nullptr;
-  /// Fault injection (extension): each contact independently carries no
-  /// rumor with this probability — a lossy channel in the spirit of the
-  /// protocol's original fault-tolerant applications [7, 26]. A loss
-  /// thins every exchange identically, so it rescales time by
-  /// ~1/(1 - loss) on both models without changing who-wins shapes
-  /// (bench_e11_faults measures this).
-  double message_loss = 0.0;
-  /// Additional nodes informed at round 0, alongside `source` (extension:
-  /// multi-source spreading, e.g. a write accepted by several replicas).
-  std::vector<NodeId> extra_sources;
-  /// Temporal/weighted overlay (extension, dynamics/churn.hpp): when set,
-  /// every round begins with dynamics->begin_round(r) and contacts are
-  /// drawn through the view (churned adjacency, weighted neighbor choice)
-  /// instead of g.random_neighbor. Null = the paper's static model, with
-  /// the engine's randomness consumption unchanged. The view is per-trial
-  /// mutable state and must not be shared across concurrent runs.
-  dynamics::DynamicGraphView* dynamics = nullptr;
-};
+/// The shared per-trial knobs (core/trial.hpp) are the whole surface: mode,
+/// max_ticks (= rounds here), message_loss, record_history, probe,
+/// extra_sources, dynamics. The sync engine honors every one of them; the
+/// dynamics view additionally begins each round with
+/// dynamics->begin_round(r) so churn applies between rounds.
+struct SyncOptions : TrialOptions {};
 
 /// Runs one synchronous execution from `source` and reports when every node
 /// was informed. Precondition: g connected (otherwise completed == false),
@@ -76,7 +42,7 @@ struct SyncOptions {
 [[nodiscard]] SyncResult run_sync_reference(const Graph& g, NodeId source, rng::Engine& eng,
                                             const SyncOptions& options = {});
 
-/// Default round cap used when SyncOptions::max_rounds == 0.
+/// Default round cap used when TrialOptions::max_ticks == 0.
 [[nodiscard]] std::uint64_t default_round_cap(NodeId n) noexcept;
 
 }  // namespace rumor::core

@@ -87,6 +87,73 @@ double ks_statistic(const Ecdf& a, const Ecdf& b) {
   return sup;
 }
 
+namespace {
+
+/// Exact P(D < d) for samples of sizes na, nb by the lattice-path
+/// recursion: u[j] after column i is the probability that a uniformly
+/// random interleaving reaching lattice point (i, j) has stayed strictly
+/// inside the band |i/na - j/nb| < d so far. The column weight
+/// i / (i + nb) folds the 1 / C(na+nb, na) normalization into the sweep,
+/// so every intermediate value stays in [0, 1] — no big-integer counts.
+double ks_exact_cdf(double d, std::size_t na, std::size_t nb) {
+  const double m = static_cast<double>(na);
+  const double n = static_cast<double>(nb);
+  // Snap d to the lattice: D takes values k/(na*nb) for integer k, so
+  // testing against the half-open midpoint makes P(D < d) immune to the
+  // float fuzz in d itself.
+  const double q = (0.5 + std::floor(d * m * n - 1e-7)) / (m * n);
+  std::vector<double> u(nb + 1);
+  for (std::size_t j = 0; j <= nb; ++j) {
+    u[j] = static_cast<double>(j) / n > q ? 0.0 : 1.0;
+  }
+  for (std::size_t i = 1; i <= na; ++i) {
+    const double w = static_cast<double>(i) / (static_cast<double>(i) + n);
+    const double fi = static_cast<double>(i) / m;
+    u[0] = fi > q ? 0.0 : w * u[0];
+    for (std::size_t j = 1; j <= nb; ++j) {
+      u[j] = std::abs(fi - static_cast<double>(j) / n) > q ? 0.0 : w * u[j] + u[j - 1];
+    }
+  }
+  return u[nb];
+}
+
+/// Kolmogorov's limiting tail 2 sum_k (-1)^{k-1} exp(-2 k^2 z^2).
+double ks_asymptotic_p(double z) {
+  if (z < 0.2) return 1.0;  // the series needs many terms; the answer is 1
+  double p = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * static_cast<double>(k) * static_cast<double>(k) * z * z);
+    p += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * p, 0.0, 1.0);
+}
+
+}  // namespace
+
+KsTest ks_two_sample_test(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(!a.empty() && !b.empty() && "ks_two_sample_test needs non-empty samples");
+  const Ecdf fa(a);
+  const Ecdf fb(b);
+  KsTest test;
+  test.statistic = ks_statistic(fa, fb);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  test.exact = na * nb <= 4e6;
+  if (test.exact) {
+    test.p_value = std::clamp(1.0 - ks_exact_cdf(test.statistic, a.size(), b.size()), 0.0, 1.0);
+  } else {
+    test.p_value = ks_asymptotic_p(test.statistic * std::sqrt(na * nb / (na + nb)));
+  }
+  return test;
+}
+
+bool ks_gate(const std::vector<double>& a, const std::vector<double>& b, double alpha) {
+  return ks_two_sample_test(a, b).p_value >= alpha;
+}
+
 DominationCheck check_domination(const std::vector<double>& x_samples,
                                  const std::vector<double>& y_samples) {
   // X preceq Y iff F_X(t) >= F_Y(t) for all t; report the worst positive

@@ -154,6 +154,41 @@ class Ecdf {
 /// Two-sample Kolmogorov-Smirnov statistic sup_x |F_a(x) - F_b(x)|.
 [[nodiscard]] double ks_statistic(const Ecdf& a, const Ecdf& b);
 
+/// Result of the two-sample KS test ks_two_sample_test.
+struct KsTest {
+  /// D = sup_x |F_a(x) - F_b(x)|.
+  double statistic = 0.0;
+  /// P(D >= observed) under the null hypothesis that both samples are drawn
+  /// from one common (continuous) law. With ties — spreading times are
+  /// integers — the test is conservative: the true rejection rate is at
+  /// most the nominal alpha.
+  double p_value = 1.0;
+  /// True when p_value is the exact finite-sample probability (lattice-path
+  /// count); false when the asymptotic Kolmogorov series was used.
+  bool exact = false;
+};
+
+/// Two-sample KS test with p-value: the distributional-equality oracle for
+/// engines that reproduce a law without reproducing a bit stream (the
+/// batch_sync acceptance gate; see docs/ENGINES.md).
+///
+/// For small samples (n*m <= 4,000,000) the p-value is exact, computed by
+/// the standard O(n*m) lattice-path recursion: P(D < d) is the fraction of
+/// the C(n+m, n) orderings whose path (0,0) -> (n,m) keeps
+/// |i/n - j/m| below d at every vertex, accumulated column by column with
+/// incremental normalization so counts never overflow. Larger samples fall
+/// back to the Kolmogorov asymptotic 2 sum_k (-1)^{k-1} exp(-2 k^2 z^2)
+/// with z = D sqrt(nm/(n+m)). Precondition: both samples non-empty.
+[[nodiscard]] KsTest ks_two_sample_test(const std::vector<double>& a,
+                                        const std::vector<double>& b);
+
+/// The equality gate: true iff ks_two_sample_test(a, b).p_value >= alpha.
+/// alpha is the false-rejection rate for same-law samples; the default 1e-3
+/// keeps a multi-cell CI sweep quiet while still rejecting any systematic
+/// distributional drift at realistic sample sizes.
+[[nodiscard]] bool ks_gate(const std::vector<double>& a, const std::vector<double>& b,
+                           double alpha = 1e-3);
+
 /// One-sample KS statistic sup_x |F_n(x) - F(x)| against an analytic law
 /// with a `cdf(double)` member. The supremum over each step's left and
 /// right limits is taken, as the textbook statistic requires.

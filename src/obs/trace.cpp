@@ -167,7 +167,10 @@ std::string render_chrome_trace(const TraceRenderInput& input) {
       append_span_event(out, span, tid, input.config_ids);
     }
   }
-  out += "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"campaign\":";
+  // schema_version follows the report convention (sim/experiment.hpp,
+  // kReportSchemaVersion): additive fields keep the number, renames bump
+  // it, tools warn when a file is newer than they understand.
+  out += "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"schema_version\":1,\"campaign\":";
   append_json_string(out, input.campaign);
   const BuildInfo& bi = build_info();
   out += ",\"build_info\":{\"git_sha\":";

@@ -151,91 +151,49 @@ double run_one(const CampaignConfig& cfg, const Graph& g,
                stats::ContactTotals* totals = nullptr) {
   rng::Engine eng = rng::derive_stream(stream_seed, trial);
   std::optional<dynamics::DynamicGraphView> view;
-  dynamics::DynamicGraphView* view_ptr = nullptr;
+  core::TrialOptions options;
+  options.mode = cfg.mode;
+  options.message_loss = cfg.message_loss;
   if (!cfg.dynamics.is_static()) {
     view.emplace(g, resolved_dynamics(cfg), shared_weighted, stream_seed, trial, shared_edges);
-    view_ptr = &*view;
+    options.dynamics = &*view;
   }
   core::SpreadProbe probe;
-  switch (cfg.engine) {
-    case EngineKind::kSync: {
-      core::SyncOptions options;
-      options.mode = cfg.mode;
-      options.message_loss = cfg.message_loss;
-      options.dynamics = view_ptr;
-      if (curve_out != nullptr) {
-        options.record_history = true;
-        options.probe = &probe;
-      }
-      const auto result = core::run_sync(g, source, eng, options);
-      if (!result.completed) {
-        throw std::runtime_error(
-            "campaign: run_sync hit the round cap (disconnected or churned-out graph?)");
-      }
-      if (metrics != nullptr) metrics->sync_rounds += result.rounds;
-      if (curve_out != nullptr) {
-        curve_out->assign(result.informed_count_history.begin(),
-                          result.informed_count_history.end());
-        fold_probe(*totals, probe, result.rounds, g.num_nodes());
-      }
-      return static_cast<double>(result.rounds);
+  if (curve_out != nullptr) {
+    if (cfg.engine == EngineKind::kAux || cfg.engine == EngineKind::kBatchSync) {
+      throw std::runtime_error(std::string("campaign: curves are not supported for engine '") +
+                               engine_name(cfg.engine) + "'");
     }
-    case EngineKind::kAsync: {
-      core::AsyncOptions options;
-      options.mode = cfg.mode;
-      options.view = cfg.view;
-      options.message_loss = cfg.message_loss;
-      options.dynamics = view_ptr;
-      if (curve_out != nullptr) options.probe = &probe;
-      const auto result = core::run_async(g, source, eng, options);
-      if (!result.completed) {
-        throw std::runtime_error(
-            "campaign: run_async hit the step cap (disconnected or churned-out graph?)");
-      }
-      if (metrics != nullptr) metrics->async_events += result.steps;
-      if (curve_out != nullptr) {
-        const auto curve =
-            core::informed_time_curve(result.informed_time, cfg.curves.time_bucket);
-        curve_out->assign(curve.begin(), curve.end());
-        fold_probe(*totals, probe, result.steps, g.num_nodes());
-      }
-      return result.time;
-    }
-    case EngineKind::kAux: {
-      if (curve_out != nullptr) {
-        throw std::runtime_error("campaign: curves are not supported for engine 'aux'");
-      }
-      core::AuxOptions options;
-      options.kind = cfg.aux;
-      const auto result = core::run_aux(g, source, eng, options);
-      if (!result.completed) {
-        throw std::runtime_error("campaign: run_aux hit the round cap (disconnected graph?)");
-      }
-      if (metrics != nullptr) metrics->sync_rounds += result.rounds;
-      return static_cast<double>(result.rounds);
-    }
-    case EngineKind::kQuasirandom: {
-      core::QuasirandomOptions options;
-      options.mode = cfg.mode;
-      if (curve_out != nullptr) {
-        options.record_history = true;
-        options.probe = &probe;
-      }
-      const auto result = core::run_quasirandom(g, source, eng, options);
-      if (!result.completed) {
-        throw std::runtime_error(
-            "campaign: run_quasirandom hit the round cap (disconnected graph?)");
-      }
-      if (metrics != nullptr) metrics->sync_rounds += result.rounds;
-      if (curve_out != nullptr) {
-        curve_out->assign(result.informed_count_history.begin(),
-                          result.informed_count_history.end());
-        fold_probe(*totals, probe, result.rounds, g.num_nodes());
-      }
-      return static_cast<double>(result.rounds);
+    options.record_history = true;  // round grids; the async engine reports times regardless
+    options.probe = &probe;
+  }
+  core::TrialExtras extras;
+  extras.view = cfg.view;
+  extras.aux = cfg.aux;
+  const auto outcome = core::run_trial(cfg.engine, g, source, eng, options, extras);
+  if (!outcome.completed) {
+    throw std::runtime_error(std::string("campaign: engine '") + engine_name(cfg.engine) +
+                             "' hit its tick cap (disconnected or churned-out graph?)");
+  }
+  if (metrics != nullptr) {
+    if (cfg.engine == EngineKind::kAsync) {
+      metrics->async_events += outcome.ticks;
+    } else {
+      metrics->sync_rounds += outcome.ticks;
     }
   }
-  throw std::runtime_error("campaign: unknown engine kind");
+  if (curve_out != nullptr) {
+    if (cfg.engine == EngineKind::kAsync) {
+      const auto curve =
+          core::informed_time_curve(outcome.informed_time, cfg.curves.time_bucket);
+      curve_out->assign(curve.begin(), curve.end());
+    } else {
+      curve_out->assign(outcome.informed_count_history.begin(),
+                        outcome.informed_count_history.end());
+    }
+    fold_probe(*totals, probe, outcome.ticks, g.num_nodes());
+  }
+  return outcome.value;
 }
 
 /// The per-source stream family of the two-stage race (kept identical to
@@ -431,6 +389,7 @@ CampaignResult campaign_result_skeleton(const CampaignConfig& cfg, std::size_t i
   }
   r.engine = engine_name(cfg.engine);
   r.mode = core::mode_name(cfg.mode);
+  if (cfg.engine == EngineKind::kBatchSync) r.lanes = cfg.lanes;
   r.seed = cfg.seed;
   r.source = cfg.source;
   r.source_policy = cfg.source_policy;
@@ -529,12 +488,28 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
                                  "' has out-of-range dynamics parameters");
       }
     }
+    if (cfg.engine == EngineKind::kBatchSync) {
+      // Same guarantees the spec parser enforces, for API callers handing
+      // in configs directly: the batch engine has no per-trial telemetry or
+      // per-source stream family, so races, curves, and dynamics are out.
+      if (cfg.lanes == 0 || cfg.lanes > core::kMaxBatchLanes) {
+        throw std::runtime_error("campaign: configuration '" + r.id + "' has lanes " +
+                                 std::to_string(cfg.lanes) + " outside 1.." +
+                                 std::to_string(core::kMaxBatchLanes));
+      }
+      if (cfg.source_policy == SourcePolicy::kRace) {
+        throw std::runtime_error("campaign: configuration '" + r.id +
+                                 "' races sources but engine 'batch_sync' batches trials "
+                                 "per stream (use engine 'sync' for races)");
+      }
+    }
     if (cfg.curves.enabled) {
       // Same guarantees the spec parser enforces, for API callers handing
       // in configs directly.
-      if (cfg.engine == EngineKind::kAux) {
+      if (cfg.engine == EngineKind::kAux || cfg.engine == EngineKind::kBatchSync) {
         throw std::runtime_error("campaign: configuration '" + r.id +
-                                 "' requests curves but engine 'aux' has no contact structure");
+                                 "' requests curves but engine '" + engine_name(cfg.engine) +
+                                 "' has no per-trial contact structure");
       }
       if (cfg.source_policy == SourcePolicy::kRace) {
         throw std::runtime_error("campaign: configuration '" + r.id +
@@ -660,7 +635,11 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
         }
         continue;
       }
-      const std::size_t slots = slot_count(cfg.trials, block_size);
+      // Batch configs pin the slot grid to the lane width (a trial block IS
+      // one lane batch), so slot boundaries stay a pure function of the
+      // config — never of --block-size — and checkpoints stay addressable.
+      const std::uint64_t cfg_block = effective_block_size(cfg, block_size);
+      const std::size_t slots = slot_count(cfg.trials, cfg_block);
       st.partials.resize(slots);
       if (cfg.curves.enabled) {
         st.curve_partials.resize(slots);
@@ -681,7 +660,7 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
         if (shard_of_block(r.id, s, /*whole_config=*/false, shard_count) != shard) continue;
         ++owned;
         if (done_slot[s] == 0) {
-          missing.push_back(block_for_slot(c, BlockKind::kTrials, 0, cfg.trials, block_size, s));
+          missing.push_back(block_for_slot(c, BlockKind::kTrials, 0, cfg.trials, cfg_block, s));
         }
       }
       finalize_here[c] = owned == slots ? 1 : 0;
@@ -689,7 +668,7 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
         // Every block was restored but the snapshot predates the final fold:
         // re-run the highest slot to re-trigger it (bit-neutral).
         missing.push_back(
-            block_for_slot(c, BlockKind::kTrials, 0, cfg.trials, block_size, slots - 1));
+            block_for_slot(c, BlockKind::kTrials, 0, cfg.trials, cfg_block, slots - 1));
       }
       st.blocks_left.store(missing.size(), std::memory_order_relaxed);
       block_estimate += missing.size();
@@ -808,12 +787,36 @@ CampaignOutcome run_campaign_impl(const std::vector<CampaignConfig>& configs,
                                                         : stats::CurveAccumulator::Options{});
         stats::ContactTotals contact_partial;
         std::vector<double> curve;
-        for (std::uint64_t t = block.begin; t < block.end; ++t) {
-          partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), cfg.source, cfg.seed, t,
-                              metrics, curves_on ? &curve : nullptr,
-                              curves_on ? &contact_partial : nullptr),
-                      t);
-          if (curves_on) curve_partial.add(curve);
+        if (cfg.engine == EngineKind::kBatchSync) {
+          // One block = one lane batch on one shared engine, seeded by the
+          // block's first trial index — the batch analogue of run_one's
+          // derive_stream(seed, t) identity. effective_block_size pinned
+          // the slot grid to cfg.lanes, so lane l of this block is trial
+          // block.begin + l under every thread count, shard split, and
+          // resume.
+          core::BatchSyncOptions batch_options;
+          batch_options.mode = cfg.mode;
+          batch_options.message_loss = cfg.message_loss;
+          batch_options.lanes = static_cast<std::uint32_t>(block.end - block.begin);
+          rng::Engine eng = rng::derive_stream(cfg.seed, block.begin);
+          const core::BatchSyncResult batch = core::run_batch_sync(g, cfg.source, eng,
+                                                                   batch_options);
+          if (!batch.completed) {
+            throw std::runtime_error(
+                "campaign: engine 'batch_sync' hit its round cap (disconnected graph?)");
+          }
+          for (std::uint32_t l = 0; l < batch.lanes; ++l) {
+            partial.add(static_cast<double>(batch.rounds[l]), block.begin + l);
+          }
+          if (metrics != nullptr) metrics->sync_rounds += batch.total_rounds;
+        } else {
+          for (std::uint64_t t = block.begin; t < block.end; ++t) {
+            partial.add(run_one(cfg, g, st.weighted.get(), st.edges.get(), cfg.source, cfg.seed,
+                                t, metrics, curves_on ? &curve : nullptr,
+                                curves_on ? &contact_partial : nullptr),
+                        t);
+            if (curves_on) curve_partial.add(curve);
+          }
         }
         st.partials[block.slot] = std::move(partial);
         if (curves_on) {
@@ -1144,6 +1147,7 @@ bool parse_engine(const std::string& s, EngineKind& out) {
   else if (s == "async") out = EngineKind::kAsync;
   else if (s == "aux") out = EngineKind::kAux;
   else if (s == "quasirandom") out = EngineKind::kQuasirandom;
+  else if (s == "batch_sync") out = EngineKind::kBatchSync;
   else return false;
   return true;
 }
@@ -1522,11 +1526,44 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
           if (n_value != nullptr) cfg.graph.n = static_cast<std::uint64_t>(n_value->as_number());
           std::string engine_str = default_engine;
           if (!engines.empty()) {
-            if (!engines[ei]->is_string()) {
-              spec.error = where + ": 'engine' entries must be strings";
+            const Json& engine_value = *engines[ei];
+            if (engine_value.is_string()) {
+              engine_str = engine_value.as_string();
+            } else if (engine_value.is_object()) {
+              // Object form {"kind": ..., "lanes": ...}: lanes is the batch
+              // engine's lane width — and, via effective_block_size, the
+              // cell's trial block size — the only per-engine knob so far.
+              static constexpr const char* kEngineKeys[] = {"kind", "lanes"};
+              for (const auto& [key, value] : engine_value.entries()) {
+                if (!known_key(key, kEngineKeys)) {
+                  spec.error = where + ": engine: unknown key '" + key + "'";
+                  return spec;
+                }
+              }
+              std::string engine_error;
+              engine_str = string_or(engine_value, "kind", "", engine_error);
+              if (engine_str.empty() && engine_error.empty()) {
+                engine_error = "missing required key 'kind'";
+              }
+              const std::uint64_t lanes =
+                  uint_or(engine_value, "lanes", core::kMaxBatchLanes, engine_error);
+              if (engine_error.empty() && engine_value.find("lanes") != nullptr &&
+                  engine_str != "batch_sync") {
+                engine_error = "key 'lanes' is only allowed with kind 'batch_sync'";
+              }
+              if (engine_error.empty() && (lanes == 0 || lanes > core::kMaxBatchLanes)) {
+                engine_error =
+                    "key 'lanes' must be in 1.." + std::to_string(core::kMaxBatchLanes);
+              }
+              if (!engine_error.empty()) {
+                spec.error = where + ": engine: " + engine_error;
+                return spec;
+              }
+              cfg.lanes = static_cast<std::uint32_t>(lanes);
+            } else {
+              spec.error = where + ": 'engine' entries must be names or {\"kind\": ...} objects";
               return spec;
             }
-            engine_str = engines[ei]->as_string();
           }
           if (!parse_engine(engine_str, cfg.engine)) {
             spec.error = where + ": unknown engine '" + engine_str + "'";
@@ -1557,12 +1594,23 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
               return spec;
             }
           }
+          if (cfg.engine == EngineKind::kBatchSync &&
+              cfg.source_policy == SourcePolicy::kRace) {
+            // Races need run_one's per-source stream family; the batch
+            // engine interleaves 64 trials on one stream. Caught here so
+            // the message can cite the spec entry (run_campaign re-checks
+            // for API callers).
+            spec.error = where + ": engine 'batch_sync' needs a fixed source (not \"race\")";
+            return spec;
+          }
           if (cfg.curves.enabled) {
-            // Curves need a contact structure to classify and one fixed
-            // trial population per cell; caught here so the message can cite
-            // the spec entry (run_campaign re-checks for API callers).
-            if (cfg.engine == EngineKind::kAux) {
-              spec.error = where + ": 'curves' is not supported for engine 'aux'";
+            // Curves need a per-trial contact structure to classify and one
+            // fixed trial population per cell; caught here so the message
+            // can cite the spec entry (run_campaign re-checks for API
+            // callers).
+            if (cfg.engine == EngineKind::kAux || cfg.engine == EngineKind::kBatchSync) {
+              spec.error = where + ": 'curves' is not supported for engine '" +
+                           std::string(engine_name(cfg.engine)) + "'";
               return spec;
             }
             if (cfg.source_policy == SourcePolicy::kRace) {
@@ -1586,6 +1634,11 @@ CampaignSpec parse_campaign_spec(const Json& doc) {
               graph_tag = "file-" + stem;
             }
             id = graph_tag + "_" + engine_name(cfg.engine) + "_" + core::mode_name(cfg.mode);
+            // Lane width is part of a batch cell's identity: two cells
+            // differing only in lanes run different block grids.
+            if (cfg.engine == EngineKind::kBatchSync) {
+              id += "_lanes" + std::to_string(cfg.lanes);
+            }
             if (cfg.source_policy == SourcePolicy::kRace) id += "_race";
             if (cfg.dynamics.churn.model != dynamics::ChurnModel::kNone) {
               id += std::string("_") + dynamics::churn_model_name(cfg.dynamics.churn.model);
@@ -1617,6 +1670,7 @@ Json campaign_report(const CampaignResult& result, const std::string& campaign_n
   const stats::StreamingSummary& s = result.summary;
   Json report = Json::object();
   report.set("experiment", campaign_name + "/" + result.id);
+  report.set("schema_version", kReportSchemaVersion);
   report.set("title", result.graph_name + " — " + result.engine + " " + result.mode + ", " +
                           std::to_string(result.trials) + " trials");
 
@@ -1624,6 +1678,11 @@ Json campaign_report(const CampaignResult& result, const std::string& campaign_n
   params.set("graph", result.graph_name);
   params.set("n", result.n);
   params.set("engine", result.engine);
+  if (result.engine == "batch_sync") {
+    // Lane width only appears for batch cells, so every pre-existing
+    // report keeps its exact key set.
+    params.set("lanes", static_cast<std::uint64_t>(result.lanes));
+  }
   params.set("mode", result.mode);
   params.set("trials", result.trials);
   params.set("seed", result.seed);

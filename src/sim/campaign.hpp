@@ -29,8 +29,10 @@
 
 #include "core/async.hpp"
 #include "core/aux_process.hpp"
+#include "core/batch_sync.hpp"
 #include "core/protocol.hpp"
 #include "core/sync.hpp"
+#include "core/trial.hpp"
 #include "dynamics/churn.hpp"
 #include "graph/graph.hpp"
 #include "stats/curves.hpp"
@@ -44,18 +46,11 @@ namespace rumor::sim {
 
 class Json;  // experiment.hpp
 
-/// Which protocol engine a configuration runs.
-enum class EngineKind : std::uint8_t { kSync, kAsync, kAux, kQuasirandom };
-
-[[nodiscard]] constexpr const char* engine_name(EngineKind e) noexcept {
-  switch (e) {
-    case EngineKind::kSync: return "sync";
-    case EngineKind::kAsync: return "async";
-    case EngineKind::kAux: return "aux";
-    case EngineKind::kQuasirandom: return "quasirandom";
-  }
-  return "?";
-}
+/// Which protocol engine a configuration runs. The enum (and its names)
+/// moved to core/trial.hpp with the unified run_trial dispatch; the
+/// aliases keep the campaign's historical spelling working.
+using EngineKind = core::EngineKind;
+using core::engine_name;
 
 /// How a configuration picks its source vertex.
 ///
@@ -142,6 +137,11 @@ struct CampaignConfig {
   core::Mode mode = core::Mode::kPushPull;
   core::AsyncView view = core::AsyncView::kGlobalClock;
   core::AuxKind aux = core::AuxKind::kPpx;
+  /// kBatchSync only: trials per lane batch (1..core::kMaxBatchLanes).
+  /// Also this configuration's *block size* — the scheduler pins one trial
+  /// block to one lane batch so batches stay slot-addressable for
+  /// checkpoints and shards (see effective_block_size).
+  std::uint32_t lanes = core::kMaxBatchLanes;
   /// Per-contact loss probability (the e11 fault extension); thins sync and
   /// async contacts identically. Ignored by aux/quasirandom engines.
   double message_loss = 0.0;
@@ -206,6 +206,18 @@ struct CampaignOptions {
   std::string telemetry_label;
 };
 
+/// The trial-block size one configuration actually schedules under the
+/// campaign-wide `block_size`. Batch-lane configurations override it with
+/// their lane count: a block IS one lane batch (a deterministic function of
+/// (seed, first trial index)), so slots keep addressing the same trials in
+/// every scheduler, checkpoint loader, and snapshot merger — all three
+/// compute slot counts through this one helper.
+[[nodiscard]] inline std::uint64_t effective_block_size(const CampaignConfig& cfg,
+                                                        std::uint64_t block_size) noexcept {
+  if (cfg.engine == EngineKind::kBatchSync) return cfg.lanes;
+  return block_size == 0 ? 1 : block_size;
+}
+
 /// One configuration's reduced result: identification plus the streaming
 /// summary. No per-trial vectors.
 ///
@@ -216,8 +228,9 @@ struct CampaignResult {
   std::string id;
   std::string graph_name;    // the built graph's own name
   std::uint64_t n = 0;       // actual node count of the built graph
-  std::string engine;        // "sync" / "async" / "aux" / "quasirandom"
+  std::string engine;        // "sync" / "async" / "aux" / "quasirandom" / "batch_sync"
   std::string mode;          // "push" / "pull" / "push-pull"
+  std::uint32_t lanes = 0;   // batch_sync: lane-batch width (0 otherwise)
   std::uint64_t trials = 0;  // refine trials per finalist under kRace
   std::uint64_t seed = 0;
   double hp_q = 0.0;         // resolved (never 0)
@@ -272,15 +285,20 @@ struct CampaignResult {
 ///         "dynamics": { "churn": "markov", "birth": 0.05, "death": 0.05,
 ///                       "weights": "heavy_tailed", "weight_alpha": 1.5 } },
 ///       { "graph": "hypercube", "n": 1024,               // spread telemetry
-///         "curves": { "points": 96, "time_bucket": 0.25 } } ] }
+///         "curves": { "points": 96, "time_bucket": 0.25 } },
+///       { "graph": "hypercube", "n": 4096,               // batch lanes
+///         "engine": { "kind": "batch_sync", "lanes": 64 } } ] }
 ///
 /// "n", "engine", and "mode" accept scalars or arrays; array-valued keys
 /// expand to their cross product, so a compact spec can describe thousands
 /// of configurations. "graph" is a family name, or an object
 /// {"kind": <family>, ...family params...} — where kind "file" instead
 /// takes "path" (a packed graph store; "n" and generator params are then
-/// rejected, the store knows its own shape). "source" is a node id (fixed
-/// policy) or the string
+/// rejected, the store knows its own shape). "engine" entries are engine
+/// names, or the object {"kind": "batch_sync", "lanes": 1..64} for the
+/// lane-parallel sync engine (distributional contract, docs/ENGINES.md;
+/// incompatible with "race", "dynamics", and "curves"). "source" is a node
+/// id (fixed policy) or the string
 /// "race" (worst-source racing, tuned by the nested "race" block — or the
 /// equivalent flat keys "screen_trials" / "finalists" / "final_trials" /
 /// "max_candidates"). "dynamics" configures churn overlays and weighted

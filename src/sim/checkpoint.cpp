@@ -131,6 +131,13 @@ std::string campaign_fingerprint(const std::string& campaign_name,
       put(canon, static_cast<std::uint64_t>(cfg.curves.points));
       put(canon, cfg.curves.time_bucket);
     }
+    if (cfg.engine == EngineKind::kBatchSync) {
+      // Lane width defines the batch cell's block grid and RNG streams, so
+      // it is part of the snapshot identity; conditional for the same
+      // reason as the curves block above.
+      put(canon, "lanes");
+      put(canon, static_cast<std::uint64_t>(cfg.lanes));
+    }
     canon += '\n';
   }
   return hex64(fnv1a(canon));
@@ -576,6 +583,10 @@ Json CampaignRecorder::snapshot(bool finished) const {
   Json doc = Json::object();
   doc.set("format", kSnapshotFormat);
   doc.set("version", kSnapshotVersion);
+  // The report-layout version (sim/experiment.hpp): snapshots embed
+  // report-facing summaries, and loaders ignore unknown keys, so stamping
+  // it is load-compatible with every pre-existing snapshot.
+  doc.set("schema_version", kReportSchemaVersion);
   doc.set("campaign", campaign_name_);
   doc.set("spec_hash", spec_hash_);
   doc.set("block_size", options_.block_size);
@@ -721,7 +732,10 @@ std::vector<CampaignRecorder::Restored> CampaignRecorder::load(const Json& doc) 
     } else if (phase == "trials") {
       if (race) fail(ectx, "race configuration cannot be in phase 'trials'");
       r.phase = Restored::Phase::kTrials;
-      const std::size_t slots = slot_count(cfg.trials, options_.block_size);
+      // Batch configs pin their slot grid to the lane width, matching the
+      // scheduler (one trial block = one lane batch).
+      const std::size_t slots =
+          slot_count(cfg.trials, effective_block_size(cfg, options_.block_size));
       for (const Json& s : opt_array(e, "slots", ectx)) {
         const std::size_t slot = static_cast<std::size_t>(req_uint(s, "slot", ectx));
         if (slot >= slots) {
@@ -974,7 +988,8 @@ std::vector<CampaignResult> merge_campaign_snapshots(const std::vector<CampaignC
       if (cfg.source_policy == SourcePolicy::kRace) {
         fail(ctx, "no shard finished this race configuration (coverage gap)");
       }
-      const std::size_t expected = slot_count(cfg.trials, std::max<std::uint64_t>(block_size, 1));
+      const std::size_t expected =
+          slot_count(cfg.trials, effective_block_size(cfg, block_size));
       for (std::size_t slot = 0; slot < expected; ++slot) {
         if (slots.find(slot) == slots.end()) {
           fail(ctx, "missing block slot " + std::to_string(slot) + " of " +

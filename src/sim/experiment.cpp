@@ -413,6 +413,7 @@ Json run_experiment(const ExperimentInfo& info, const ExperimentOptions& opts) {
   Json body = info.run(ctx);
   Json report = Json::object();
   report.set("experiment", info.name);
+  report.set("schema_version", kReportSchemaVersion);
   report.set("title", info.title);
   report.set("claim", info.claim);
   Json params = Json::object();

@@ -190,8 +190,19 @@ struct ExperimentRegistrar {
   }
 };
 
+/// Version of the JSON report layout rumor_bench emits (experiment reports
+/// and campaign reports alike) and of the campaign checkpoint snapshot's
+/// report-facing fields, stamped top-level as "schema_version". Bump it on
+/// renames/removals/semantic changes of existing keys; purely additive keys
+/// keep the number (consumers must ignore keys they do not know). The
+/// Python tools under tools/ warn on versions newer than they understand;
+/// documents without the key predate versioning and are read as version 1.
+/// Compatibility policy: bench/README.md, "Report schema versioning".
+inline constexpr std::uint64_t kReportSchemaVersion = 1;
+
 /// Runs one experiment end-to-end and returns the full report object:
-/// { "experiment": name, "params": {...}, "rows": [...], ... }.
+/// { "experiment": name, "schema_version": ..., "params": {...},
+///   "rows": [...], ... }.
 [[nodiscard]] Json run_experiment(const ExperimentInfo& info, const ExperimentOptions& opts);
 
 /// The binary's build provenance (obs/build_info.hpp) as the JSON object

@@ -72,47 +72,50 @@ stats::BootstrapInterval SpreadingTimeSample::mean_ci(double confidence, std::si
   return stats::bootstrap_mean_ci(samples_, confidence, resamples, seed);
 }
 
-SpreadingTimeSample measure_sync(const Graph& g, NodeId source, core::Mode mode,
-                                 const TrialConfig& config) {
-  core::SyncOptions options;
-  options.mode = mode;
+// The measure_* wrappers all route through core::run_trial — the same
+// dispatch the campaign scheduler uses — so an engine keeps exactly one
+// option-assembly path. Each keeps its historical engine-specific error
+// text (the cap name differs per engine).
+namespace {
+
+SpreadingTimeSample measure_trial(core::EngineKind kind, const Graph& g, NodeId source,
+                                  const TrialConfig& config, const core::TrialOptions& options,
+                                  const core::TrialExtras& extras, const char* cap_error) {
   auto samples = run_trials(config, [&](std::uint64_t, rng::Engine& eng) {
-    const auto result = core::run_sync(g, source, eng, options);
-    if (!result.completed) {
-      throw std::runtime_error("run_sync: execution hit the round cap (disconnected graph?)");
-    }
-    return static_cast<double>(result.rounds);
+    const auto outcome = core::run_trial(kind, g, source, eng, options, extras);
+    if (!outcome.completed) throw std::runtime_error(cap_error);
+    return outcome.value;
   });
   return SpreadingTimeSample(std::move(samples));
+}
+
+}  // namespace
+
+SpreadingTimeSample measure_sync(const Graph& g, NodeId source, core::Mode mode,
+                                 const TrialConfig& config) {
+  core::TrialOptions options;
+  options.mode = mode;
+  return measure_trial(core::EngineKind::kSync, g, source, config, options, {},
+                       "run_sync: execution hit the round cap (disconnected graph?)");
 }
 
 SpreadingTimeSample measure_async(const Graph& g, NodeId source, core::Mode mode,
                                   const TrialConfig& config, core::AsyncView view) {
-  core::AsyncOptions options;
+  core::TrialOptions options;
   options.mode = mode;
-  options.view = view;
-  auto samples = run_trials(config, [&](std::uint64_t, rng::Engine& eng) {
-    const auto result = core::run_async(g, source, eng, options);
-    if (!result.completed) {
-      throw std::runtime_error("run_async: execution hit the step cap (disconnected graph?)");
-    }
-    return result.time;
-  });
-  return SpreadingTimeSample(std::move(samples));
+  core::TrialExtras extras;
+  extras.view = view;
+  return measure_trial(core::EngineKind::kAsync, g, source, config, options, extras,
+                       "run_async: execution hit the step cap (disconnected graph?)");
 }
 
 SpreadingTimeSample measure_aux(const Graph& g, NodeId source, core::AuxKind kind,
                                 const TrialConfig& config) {
-  core::AuxOptions options;
-  options.kind = kind;
-  auto samples = run_trials(config, [&](std::uint64_t, rng::Engine& eng) {
-    const auto result = core::run_aux(g, source, eng, options);
-    if (!result.completed) {
-      throw std::runtime_error("run_aux: execution hit the round cap (disconnected graph?)");
-    }
-    return static_cast<double>(result.rounds);
-  });
-  return SpreadingTimeSample(std::move(samples));
+  core::TrialOptions options;
+  core::TrialExtras extras;
+  extras.aux = kind;
+  return measure_trial(core::EngineKind::kAux, g, source, config, options, extras,
+                       "run_aux: execution hit the round cap (disconnected graph?)");
 }
 
 }  // namespace rumor::sim

@@ -246,7 +246,7 @@ ProbeScenario make_probe(std::uint32_t d, std::uint32_t k, std::uint32_t big_deg
   }
   ProbeScenario s{std::move(b).build("probe"), {}, k, big_degree};
   s.opts.kind = kind;
-  s.opts.max_rounds = 1;
+  s.opts.max_ticks = 1;
   for (graph::NodeId i = 2; i <= k; ++i) s.opts.extra_sources.push_back(i);
   return s;  // run with source = node 1
 }
@@ -310,7 +310,7 @@ TEST(SyncSemantics, SingleUninformedNodePullProbability) {
   // pushes w.p. 1/2 -> 3/4.
   const auto g = graph::cycle(4);
   core::SyncOptions opts;
-  opts.max_rounds = 1;
+  opts.max_ticks = 1;
   constexpr int kTrials = 40000;
   int informed = 0;
   for (int t = 0; t < kTrials; ++t) {
@@ -327,7 +327,7 @@ TEST(SyncSemantics, PushOnlyProbability) {
   const auto g = graph::cycle(4);
   core::SyncOptions opts;
   opts.mode = core::Mode::kPush;
-  opts.max_rounds = 1;
+  opts.max_ticks = 1;
   constexpr int kTrials = 40000;
   int informed = 0;
   for (int t = 0; t < kTrials; ++t) {
@@ -343,7 +343,7 @@ TEST(SyncSemantics, PullOnlyProbability) {
   const auto g = graph::cycle(4);
   core::SyncOptions opts;
   opts.mode = core::Mode::kPull;
-  opts.max_rounds = 1;
+  opts.max_ticks = 1;
   constexpr int kTrials = 40000;
   int informed = 0;
   for (int t = 0; t < kTrials; ++t) {

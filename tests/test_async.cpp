@@ -64,7 +64,7 @@ TEST(AsyncEngine, RespectsStepCap) {
   const auto g = graph::path(50);
   auto eng = rng::derive_stream(3030, 12);
   core::AsyncOptions opts;
-  opts.max_steps = 10;
+  opts.max_ticks = 10;
   const auto r = core::run_async(g, 0, eng, opts);
   EXPECT_FALSE(r.completed);
   EXPECT_EQ(r.steps, 10u);
@@ -77,7 +77,7 @@ TEST(AsyncEngine, DisconnectedGraphHitsCap) {
   const auto g = std::move(b).build("disc");
   auto eng = rng::derive_stream(3030, 13);
   core::AsyncOptions opts;
-  opts.max_steps = 500;
+  opts.max_ticks = 500;
   const auto r = core::run_async(g, 0, eng, opts);
   EXPECT_FALSE(r.completed);
   EXPECT_EQ(r.informed_time[2], core::kNeverTime);

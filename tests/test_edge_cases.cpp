@@ -40,10 +40,10 @@ TEST(EdgeCases, IsolatedNodeInEngineDoesNotCrash) {
   const auto g = std::move(b).build("isolated");
   auto eng = rng::derive_stream(1500, 2);
   core::SyncOptions sopts;
-  sopts.max_rounds = 20;
+  sopts.max_ticks = 20;
   EXPECT_FALSE(core::run_sync(g, 0, eng, sopts).completed);
   core::AsyncOptions aopts;
-  aopts.max_steps = 100;
+  aopts.max_ticks = 100;
   EXPECT_FALSE(core::run_async(g, 0, eng, aopts).completed);
 }
 
@@ -72,7 +72,7 @@ TEST(EdgeCases, MeasureThrowsOnDisconnectedGraph) {
       (void)sim::run_trials(config,
                             [&](std::uint64_t, rng::Engine& eng) -> double {
                               core::SyncOptions opts;
-                              opts.max_rounds = 10;
+                              opts.max_ticks = 10;
                               const auto r = core::run_sync(g, 0, eng, opts);
                               if (!r.completed) throw std::runtime_error("incomplete");
                               return static_cast<double>(r.rounds);

@@ -202,7 +202,7 @@ TEST(Faults, TotalLossNeverCompletes) {
   auto eng = rng::derive_stream(75, 0);
   core::SyncOptions opts;
   opts.message_loss = 1.0;
-  opts.max_rounds = 50;
+  opts.max_ticks = 50;
   const auto r = core::run_sync(g, 0, eng, opts);
   EXPECT_FALSE(r.completed);
 }

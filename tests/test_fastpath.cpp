@@ -236,7 +236,7 @@ TEST(FastpathSync, BitIdenticalWithLossMultiSourceAndCaps) {
       core::SyncOptions opts;
       opts.mode = Mode::kPushPull;
       opts.message_loss = loss;
-      opts.max_rounds = cap;
+      opts.max_ticks = cap;
       opts.extra_sources = {5, 9, 5};  // duplicate on purpose
       opts.record_history = true;
       const auto fast = core::run_sync(g, 0, eng_fast, opts);
@@ -411,7 +411,7 @@ TEST(FastpathSync, RecordHistoryIsTheDerivedCurveBitExactly) {
     opts.record_history = true;
     opts.message_loss = 0.2;
     opts.extra_sources = {5, 9, 5};  // duplicate on purpose: 3 distinct sources
-    opts.max_rounds = cap;
+    opts.max_ticks = cap;
     const auto r = core::run_sync(g, 0, eng, opts);
     const std::string label = "cap" + std::to_string(cap);
     EXPECT_EQ(r.informed_count_history, core::informed_round_curve(r.informed_round, r.rounds))
@@ -457,7 +457,7 @@ TEST(FastpathAsync, PerEdgeMatchesHeapUnderLossAndStepCap) {
   core::AsyncOptions opts;
   opts.view = core::AsyncView::kPerEdgeClocks;
   opts.message_loss = 0.25;
-  opts.max_steps = 500;  // far too few: the capped prefix must match too
+  opts.max_ticks = 500;  // far too few: the capped prefix must match too
   auto eng_fast = rng::derive_stream(819, 0);
   auto eng_ref = eng_fast;
   const auto fast = core::run_async(g, 0, eng_fast, opts);

@@ -90,14 +90,18 @@ TEST(Quasirandom, MatchesFullyRandomScaleOnHypercube) {
 TEST(Quasirandom, PushOnlyStillCompletes) {
   const auto g = graph::hypercube(6);
   auto eng = rng::derive_stream(1307, 0);
-  const auto r = core::run_quasirandom(g, 0, eng, {.mode = core::Mode::kPush});
+  core::QuasirandomOptions opts;
+  opts.mode = core::Mode::kPush;
+  const auto r = core::run_quasirandom(g, 0, eng, opts);
   EXPECT_TRUE(r.completed);
 }
 
 TEST(Quasirandom, RespectsRoundCap) {
   const auto g = graph::path(64);
   auto eng = rng::derive_stream(1308, 0);
-  const auto r = core::run_quasirandom(g, 0, eng, {.max_rounds = 3});
+  core::QuasirandomOptions opts;
+  opts.max_ticks = 3;
+  const auto r = core::run_quasirandom(g, 0, eng, opts);
   EXPECT_FALSE(r.completed);
   EXPECT_EQ(r.rounds, 3u);
 }

@@ -106,7 +106,7 @@ TEST(SyncEngine, RespectsRoundCap) {
   const auto g = graph::path(100);
   auto eng = rng::derive_stream(2024, 40);
   core::SyncOptions opts;
-  opts.max_rounds = 3;  // far too few for a path
+  opts.max_ticks = 3;  // far too few for a path
   const auto r = core::run_sync(g, 0, eng, opts);
   EXPECT_FALSE(r.completed);
   EXPECT_EQ(r.rounds, 3u);
@@ -119,7 +119,7 @@ TEST(SyncEngine, DisconnectedGraphNeverCompletes) {
   const auto g = std::move(b).build("disc");
   auto eng = rng::derive_stream(2024, 41);
   core::SyncOptions opts;
-  opts.max_rounds = 50;
+  opts.max_ticks = 50;
   const auto r = core::run_sync(g, 0, eng, opts);
   EXPECT_FALSE(r.completed);
   EXPECT_EQ(r.informed_round[2], core::kNeverRound);

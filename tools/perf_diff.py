@@ -48,12 +48,34 @@ import argparse
 import json
 import sys
 
+# The report schema this tool was written against (kReportSchemaVersion in
+# src/sim/experiment.hpp). Reports with no schema_version key predate the
+# field and are version 1; newer reports may have renamed the fields gated
+# below, so the loader warns rather than silently misreading them. Policy:
+# bench/README.md, "Report schema versioning".
+KNOWN_SCHEMA_VERSION = 1
+
+
+def warn_unknown_schema(report, path):
+    version = report.get("schema_version")
+    if isinstance(version, int) and version > KNOWN_SCHEMA_VERSION:
+        print(
+            f"{path}: warning: report schema_version {version} is newer than "
+            f"this tool understands ({KNOWN_SCHEMA_VERSION}); fields may have "
+            f"moved or been renamed",
+            file=sys.stderr,
+        )
+
 
 def load_reports(path):
     """Returns the list of report objects in a report file (one or many)."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    return doc if isinstance(doc, list) else [doc]
+    reports = doc if isinstance(doc, list) else [doc]
+    for report in reports:
+        if isinstance(report, dict):
+            warn_unknown_schema(report, path)
+    return reports
 
 
 def describe_build(path):

@@ -47,6 +47,12 @@ import sys
 EPS = 1e-9
 
 
+# The report schema this tool was written against (kReportSchemaVersion in
+# src/sim/experiment.hpp); missing key = version 1. Policy: bench/README.md,
+# "Report schema versioning".
+KNOWN_SCHEMA_VERSION = 1
+
+
 def load_reports(path):
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
@@ -54,6 +60,14 @@ def load_reports(path):
     for r in reports:
         if not isinstance(r, dict) or "stats" not in r:
             raise ValueError(f"{path}: not a rumor_bench report (no stats key)")
+        version = r.get("schema_version")
+        if isinstance(version, int) and version > KNOWN_SCHEMA_VERSION:
+            print(
+                f"{path}: warning: report schema_version {version} is newer "
+                f"than this tool understands ({KNOWN_SCHEMA_VERSION}); fields "
+                f"may have moved or been renamed",
+                file=sys.stderr,
+            )
     return reports
 
 

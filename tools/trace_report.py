@@ -48,11 +48,25 @@ import sys
 EPS_US = 0.0005
 
 
+# The trace schema this tool was written against (otherData.schema_version,
+# stamped by obs/trace.cpp); traces without the key predate it and are
+# version 1. Policy: bench/README.md, "Report schema versioning".
+KNOWN_SCHEMA_VERSION = 1
+
+
 def load_trace(path):
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         raise ValueError(f"{path}: not a trace file (no traceEvents key)")
+    version = doc.get("otherData", {}).get("schema_version")
+    if isinstance(version, int) and version > KNOWN_SCHEMA_VERSION:
+        print(
+            f"{path}: warning: trace schema_version {version} is newer than "
+            f"this tool understands ({KNOWN_SCHEMA_VERSION}); fields may have "
+            f"moved or been renamed",
+            file=sys.stderr,
+        )
     return doc
 
 
